@@ -1,0 +1,82 @@
+// Shared configuration for the experiment benches. Every bench reads
+// the same environment knobs so the whole harness can be scaled from
+// "smoke" (default, minutes on a laptop CPU) toward paper scale:
+//
+//   LACO_BENCH_SCALE   design size vs the paper's (default 0.004)
+//   LACO_BENCH_RUNS    placement solutions per design  (default 2)
+//   LACO_BENCH_ITERS   max GP iterations               (default 240)
+//   LACO_BENCH_EPOCHS  training epochs (g and f)       (default 6)
+//
+// The paper's own settings correspond to SCALE=1.0, RUNS=100, 512×512
+// feature grids — far beyond a single-CPU session; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "laco/pipeline.hpp"
+#include "netlist/ispd2015_suite.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace laco::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+struct BenchSettings {
+  double scale = 0.004;
+  int runs_per_design = 2;
+  int max_iterations = 240;
+  int epochs = 6;
+};
+
+inline BenchSettings settings() {
+  BenchSettings s;
+  s.scale = env_double("LACO_BENCH_SCALE", s.scale);
+  s.runs_per_design = env_int("LACO_BENCH_RUNS", s.runs_per_design);
+  s.max_iterations = env_int("LACO_BENCH_ITERS", s.max_iterations);
+  s.epochs = env_int("LACO_BENCH_EPOCHS", s.epochs);
+  return s;
+}
+
+/// Pipeline config derived from the bench settings.
+inline PipelineConfig bench_pipeline_config(const BenchSettings& s = settings()) {
+  PipelineConfig cfg = default_pipeline_config();
+  cfg.scale = s.scale;
+  cfg.runs_per_design = s.runs_per_design;
+  cfg.trace.placer.max_iterations = s.max_iterations;
+  cfg.trace.placer.min_iterations = std::min(80, s.max_iterations);
+  cfg.lookahead_trainer.epochs = s.epochs;
+  cfg.congestion_trainer.epochs = s.epochs + 2;
+  return cfg;
+}
+
+/// A pipeline with the shared on-disk trace cache enabled (set
+/// LACO_TRACE_CACHE to a directory; defaults to ./laco_trace_cache) so
+/// the bench suite collects each trace set only once.
+inline Pipeline make_pipeline(const BenchSettings& s = settings()) {
+  Pipeline pipeline(bench_pipeline_config(s));
+  const char* dir = std::getenv("LACO_TRACE_CACHE");
+  pipeline.set_trace_cache_dir(dir != nullptr ? dir : "laco_trace_cache");
+  return pipeline;
+}
+
+inline void print_header(const std::string& title, const BenchSettings& s = settings()) {
+  set_log_level(LogLevel::kWarn);
+  std::cout << "==== " << title << " ====\n"
+            << "settings: scale=" << s.scale << " runs/design=" << s.runs_per_design
+            << " max_iters=" << s.max_iterations << " epochs=" << s.epochs
+            << "  (paper: scale=1.0, runs=100, Innovus labels)\n\n";
+}
+
+}  // namespace laco::bench

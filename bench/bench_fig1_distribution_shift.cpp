@@ -1,0 +1,86 @@
+// Reproduces Fig. 1: the distribution-shift phenomenon. Runs a plain
+// DREAMPlace-mode global placement on the des_perf_1 analog, snapshots
+// the RUDY / PinRUDY / cell-location distributions every few iterations,
+// and prints KL(p_i ‖ p_final) — the paper's Fig. 1(c) curve — plus the
+// cell-spread statistics behind Fig. 1(a)/(b).
+#include "bench_common.hpp"
+#include "features/feature_stack.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "placer/global_placer.hpp"
+
+using namespace laco;
+
+int main() {
+  const bench::BenchSettings s = bench::settings();
+  bench::print_header("Fig. 1: distribution shift across placement iterations", s);
+
+  // This bench runs one plain placement, so it affords a larger design;
+  // dense histograms keep the KL estimate out of the sparse-bin noise.
+  Design design = make_ispd2015_analog("des_perf_1", s.scale * 5.0);
+  std::cout << "design des_perf_1 analog: " << design.num_movable() << " movable cells, "
+            << design.num_nets() << " nets\n\n";
+
+  const int grid = 16;
+  FeatureExtractor extractor(FeatureConfig{grid, grid, QuasiVoxScheme::kWeightedSum, false});
+
+  struct Sample {
+    int iteration;
+    GridMap rudy, pin_rudy, cells;
+    double spread;  // stddev of cell positions / core width
+  };
+  std::vector<Sample> samples;
+
+  GlobalPlacerOptions opts;
+  opts.bin_nx = 32;
+  opts.bin_ny = 32;
+  opts.max_iterations = s.max_iterations;
+  opts.min_iterations = std::min(80, s.max_iterations);
+  GlobalPlacer placer(design, opts);
+  const int stride = std::max(1, s.max_iterations / 24);
+  placer.set_observer([&](const Design& d, const IterationStats& stats) {
+    if (stats.iteration % stride != 0) return;
+    FeatureFrame frame = extractor.compute(d);
+    double mx = 0, my = 0, vx = 0, vy = 0;
+    for (const CellId cid : d.movable_cells()) {
+      const Point p = d.cell(cid).center();
+      mx += p.x;
+      my += p.y;
+    }
+    mx /= static_cast<double>(d.num_movable());
+    my /= static_cast<double>(d.num_movable());
+    for (const CellId cid : d.movable_cells()) {
+      const Point p = d.cell(cid).center();
+      vx += (p.x - mx) * (p.x - mx);
+      vy += (p.y - my) * (p.y - my);
+    }
+    const double spread =
+        std::sqrt((vx + vy) / (2.0 * static_cast<double>(d.num_movable()))) / d.core().width();
+    samples.push_back({stats.iteration, std::move(frame.rudy), std::move(frame.pin_rudy),
+                       cell_location_histogram(d, grid, grid), spread});
+  });
+  const PlacementResult result = placer.run();
+  std::cout << "placement finished: " << result.iterations
+            << " iterations, final overflow " << result.final_overflow << "\n\n";
+
+  const Sample& last = samples.back();
+  Table table({"iteration", "KL(RUDY)", "KL(PinRUDY)", "KL(cells)", "cell spread"});
+  for (const Sample& sample : samples) {
+    table.add_row({std::to_string(sample.iteration),
+                   Table::fmt(kl_divergence(sample.rudy, last.rudy), 4),
+                   Table::fmt(kl_divergence(sample.pin_rudy, last.pin_rudy), 4),
+                   Table::fmt(kl_divergence(sample.cells, last.cells), 4),
+                   Table::fmt(sample.spread, 4)});
+  }
+  std::cout << table.to_string();
+  table.write_csv("fig1_distribution_shift.csv");
+
+  // Paper claim: distributions at early iterations differ strongly from
+  // the final one and the KL decays toward ~0 (Fig. 1(c)).
+  const double first_kl = kl_divergence(samples.front().cells, last.cells);
+  std::cout << "\nshape check: KL(cells) first=" << Table::fmt(first_kl, 3)
+            << " -> 0 by construction at the last sample; monotone-decay expected as in "
+               "Fig. 1(c). Early cells concentrated (spread "
+            << Table::fmt(samples.front().spread, 3) << ") vs final (spread "
+            << Table::fmt(last.spread, 3) << ").\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 6: congestion-prediction quality (NRMS ↓ / SSIM ↑) of
+// the incremental LACO schemes — DREAM-Cong, Look-ahead-only, Cell-flow,
+// Cell-flow+KL — trained on the first 8 designs and evaluated on
+// held-out designs at mid-placement iterations, where distribution shift
+// actually bites.
+#include "bench_common.hpp"
+
+using namespace laco;
+
+int main() {
+  const bench::BenchSettings s = bench::settings();
+  bench::print_header("Fig. 6: scheme comparison on NRMS / SSIM", s);
+
+  Pipeline pipeline = bench::make_pipeline(s);
+  const auto& train_traces = pipeline.traces_for(ispd2015_first8_names());
+  const std::vector<std::string> test_designs{"matrix_mult_1", "matrix_mult_a",
+                                              "pci_bridge32_a", "pci_bridge32_b"};
+  const auto& test_traces = pipeline.traces_for(test_designs);
+  std::cout << "train traces: " << train_traces.size() << ", test traces: "
+            << test_traces.size() << "\n\n";
+
+  const std::vector<LacoScheme> schemes{LacoScheme::kDreamCong, LacoScheme::kLookAheadOnly,
+                                        LacoScheme::kCellFlow, LacoScheme::kCellFlowKL};
+
+  Table per_design({"scheme", "design", "NRMS", "SSIM", "samples"});
+  Table summary({"scheme", "avg NRMS", "avg SSIM", "NRMS impr. vs DREAM-Cong",
+                 "SSIM impr. vs DREAM-Cong"});
+  double base_nrms = 0.0, base_ssim = 0.0;
+  for (const LacoScheme scheme : schemes) {
+    const LacoModels models = pipeline.train_models(scheme, train_traces);
+    const auto by_design = pipeline.evaluate_prediction_per_design(models, test_traces);
+    for (const auto& [design, q] : by_design) {
+      per_design.add_row({to_string(scheme), design, Table::fmt(q.nrms, 4),
+                          Table::fmt(q.ssim, 4), std::to_string(q.samples)});
+    }
+    const PredictionQuality total = pipeline.evaluate_prediction(models, test_traces);
+    if (scheme == LacoScheme::kDreamCong) {
+      base_nrms = total.nrms;
+      base_ssim = total.ssim;
+    }
+    const double nrms_impr = base_nrms > 0 ? (base_nrms - total.nrms) / base_nrms * 100.0 : 0;
+    const double ssim_impr =
+        base_ssim != 0 ? (total.ssim - base_ssim) / std::abs(base_ssim) * 100.0 : 0;
+    summary.add_row({to_string(scheme), Table::fmt(total.nrms, 4), Table::fmt(total.ssim, 4),
+                     Table::fmt(nrms_impr, 1) + "%", Table::fmt(ssim_impr, 1) + "%"});
+    std::cout << "  " << to_string(scheme) << ": NRMS=" << Table::fmt(total.nrms, 4)
+              << " SSIM=" << Table::fmt(total.ssim, 4) << '\n';
+  }
+  std::cout << "\nper-design results:\n" << per_design.to_string();
+  std::cout << "\nsummary:\n" << summary.to_string();
+  per_design.write_csv("fig6_per_design.csv");
+  summary.write_csv("fig6_summary.csv");
+
+  std::cout << "\npaper reference (Fig. 6): Look-ahead-only improves NRMS/SSIM markedly over "
+               "DREAM-Cong; Cell-flow and Cell-flow+KL improve further, reaching 34.8% NRMS "
+               "and 28.7% SSIM improvement.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Extension ablation (DESIGN.md): sweep of the history length C — the
+// number of past frames the look-ahead model consumes (paper: C=4).
+#include "bench_common.hpp"
+
+using namespace laco;
+
+int main() {
+  const bench::BenchSettings s = bench::settings();
+  bench::print_header("Extension: history length (C) sweep", s);
+
+  const std::vector<std::string> train_designs{"fft_1", "fft_2", "des_perf_1", "des_perf_b"};
+  const std::vector<std::string> test_designs{"pci_bridge32_b", "matrix_mult_1"};
+
+  Table summary({"C (frames)", "train samples", "avg NRMS", "avg SSIM"});
+  for (const int frames : {2, 3, 4, 6}) {
+    PipelineConfig cfg = bench::bench_pipeline_config(s);
+    cfg.lookahead_model.frames = frames;
+    Pipeline pipeline(cfg);
+    {
+      const char* cache = std::getenv("LACO_TRACE_CACHE");
+      pipeline.set_trace_cache_dir(cache != nullptr ? cache : "laco_trace_cache");
+    }
+    const auto& train_traces = pipeline.traces_for(train_designs);
+    const auto& test_traces = pipeline.traces_for(test_designs);
+    if (train_traces.empty() ||
+        train_traces[0].snapshots.size() < static_cast<std::size_t>(frames) + 1) {
+      std::cout << "  C=" << frames << ": not enough snapshots per run, skipped\n";
+      continue;
+    }
+    const auto samples = build_lookahead_samples(train_traces, frames);
+    const LacoModels models = pipeline.train_models(LacoScheme::kCellFlowKL, train_traces);
+    const PredictionQuality q = pipeline.evaluate_prediction(models, test_traces);
+    summary.add_row({std::to_string(frames), std::to_string(samples.size()),
+                     Table::fmt(q.nrms, 4), Table::fmt(q.ssim, 4)});
+    std::cout << "  C=" << frames << ": NRMS=" << Table::fmt(q.nrms, 4) << '\n';
+  }
+  std::cout << '\n' << summary.to_string();
+  summary.write_csv("history_frames.csv");
+  std::cout << "\n(paper uses C=4; longer histories add runtime and training burden for "
+               "diminishing returns.)\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Google-benchmark microbenchmarks of the compute kernels the LACO flow
+// spends its time in: feature extraction, the spectral Poisson solve,
+// conv2d forward/backward, cell-flow quasi-voxelization, and one routed
+// evaluation. Useful when tuning resolutions (DESIGN.md Sec. 6).
+#include <benchmark/benchmark.h>
+
+#include "features/feature_stack.hpp"
+#include "netlist/ispd2015_suite.hpp"
+#include "nn/autograd.hpp"
+#include "nn/ops.hpp"
+#include "placer/poisson.hpp"
+#include "router/global_router.hpp"
+
+namespace {
+
+using namespace laco;
+
+const Design& bench_design() {
+  static const Design design = make_ispd2015_analog("des_perf_1", 0.004);
+  return design;
+}
+
+void BM_Rudy(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_rudy(bench_design(), grid, grid));
+  }
+}
+BENCHMARK(BM_Rudy)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PinRudy(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_pin_rudy(bench_design(), grid, grid));
+  }
+}
+BENCHMARK(BM_PinRudy)->Arg(64);
+
+void BM_CellFlow(benchmark::State& state) {
+  const Design& d = bench_design();
+  std::vector<double> px, py;
+  d.get_movable_positions(px, py);
+  for (double& v : px) v += 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_cell_flow(d, px, py, 64, 64, QuasiVoxScheme::kWeightedSum));
+  }
+}
+BENCHMARK(BM_CellFlow);
+
+void BM_PoissonSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PoissonSolver solver(n, n, 1.0, 1.0);
+  std::vector<double> rho(static_cast<std::size_t>(n) * n, 0.0);
+  for (std::size_t i = 0; i < rho.size(); i += 7) rho[i] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(rho));
+  }
+}
+BENCHMARK(BM_PoissonSolve)->Arg(32)->Arg(64);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  nn::Tensor x = nn::Tensor::zeros({1, 8, 64, 64});
+  nn::Tensor w = nn::Tensor::zeros({8, 8, 3, 3});
+  nn::fill_uniform(x, -1, 1, 1);
+  nn::fill_uniform(w, -1, 1, 2);
+  nn::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::conv2d(x, w, nn::Tensor(), 1, 1));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  nn::Tensor x = nn::Tensor::zeros({1, 8, 32, 32});
+  nn::Tensor w = nn::Tensor::zeros({8, 8, 3, 3}, false);
+  nn::fill_uniform(x, -1, 1, 1);
+  nn::fill_uniform(w, -1, 1, 2);
+  w.set_requires_grad(true);
+  for (auto _ : state) {
+    x.zero_grad();
+    w.zero_grad();
+    nn::Tensor loss = nn::mean_square(nn::conv2d(x, w, nn::Tensor(), 1, 1));
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_GlobalRoute(benchmark::State& state) {
+  const Design& d = bench_design();
+  GlobalRouterConfig cfg;
+  cfg.grid.nx = 32;
+  cfg.grid.ny = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_design(d, cfg));
+  }
+}
+BENCHMARK(BM_GlobalRoute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces the Sec. IV-C quasi-voxelization ablation (text): the full
+// LACO model trained with sampling / averaging / weighted-sum cell-flow
+// downsampling. Paper: averaging gives 28.8% larger NRMS than
+// weighted-sum, sampling 2.1% larger.
+#include "bench_common.hpp"
+
+using namespace laco;
+
+int main() {
+  const bench::BenchSettings s = bench::settings();
+  bench::print_header("Sec. IV-C: quasi-voxelization scheme ablation", s);
+
+  const std::vector<std::string> test_designs{"matrix_mult_1", "pci_bridge32_b"};
+
+  Table summary({"quasi-vox scheme", "avg NRMS", "avg SSIM", "NRMS vs weighted-sum"});
+  std::map<QuasiVoxScheme, double> nrms_by_scheme;
+  for (const QuasiVoxScheme scheme : {QuasiVoxScheme::kWeightedSum, QuasiVoxScheme::kSampling,
+                                      QuasiVoxScheme::kAveraging}) {
+    PipelineConfig cfg = bench::bench_pipeline_config(s);
+    cfg.trace.snapshot.features.scheme = scheme;
+    cfg.trace.snapshot.lookahead_features.scheme = scheme;
+    Pipeline pipeline(cfg);
+    {
+      const char* cache = std::getenv("LACO_TRACE_CACHE");
+      pipeline.set_trace_cache_dir(cache != nullptr ? cache : "laco_trace_cache");
+    }
+    const auto& train_traces = pipeline.traces_for(ispd2015_first8_names());
+    const auto& test_traces = pipeline.traces_for(test_designs);
+    const LacoModels models = pipeline.train_models(LacoScheme::kCellFlowKL, train_traces);
+    const PredictionQuality q = pipeline.evaluate_prediction(models, test_traces);
+    nrms_by_scheme[scheme] = q.nrms;
+    const double base = nrms_by_scheme[QuasiVoxScheme::kWeightedSum];
+    summary.add_row({to_string(scheme), Table::fmt(q.nrms, 4), Table::fmt(q.ssim, 4),
+                     Table::fmt(base > 0 ? (q.nrms - base) / base * 100.0 : 0.0, 1) + "%"});
+    std::cout << "  " << to_string(scheme) << ": NRMS=" << Table::fmt(q.nrms, 4) << '\n';
+  }
+  std::cout << '\n' << summary.to_string();
+  summary.write_csv("quasivox_ablation.csv");
+
+  std::cout << "\npaper reference: averaging +28.8% NRMS vs weighted-sum; sampling +2.1%; "
+               "weighted-sum is the default.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Table I: DREAMPlace vs DREAM-Cong vs LACO on the 20
+// ISPD-2015 analog designs — WCS_H, WCS_V (Eq. 18) and routed
+// wirelength, with the Average and Ratio summary rows.
+//
+// Protocol (scaled version of Sec. IV-A/IV-B): training traces come from
+// the first 8 designs; DREAM-Cong and LACO (Cell-flow+KL) models are
+// trained on them; all three schemes then place every design and are
+// measured by the global router after legalization.
+#include "bench_common.hpp"
+#include "laco/laco_placer.hpp"
+
+using namespace laco;
+
+int main() {
+  const bench::BenchSettings s = bench::settings();
+  bench::print_header("Table I: WCS / wirelength comparison on ISPD-2015 analogs", s);
+
+  Pipeline pipeline = bench::make_pipeline(s);
+  const auto& train_traces = pipeline.traces_for(ispd2015_first8_names());
+  std::cout << "collected " << train_traces.size() << " training traces ("
+            << ispd2015_first8_names().size() << " designs x " << s.runs_per_design
+            << " runs)\n";
+
+  const LacoModels dreamcong = pipeline.train_models(LacoScheme::kDreamCong, train_traces);
+  const LacoModels laco_full = pipeline.train_models(LacoScheme::kCellFlowKL, train_traces);
+  std::cout << "trained DREAM-Cong and LACO (Cell-flow+KL) models\n\n";
+
+  const std::vector<LacoScheme> schemes{LacoScheme::kDreamPlace, LacoScheme::kDreamCong,
+                                        LacoScheme::kCellFlowKL};
+  const auto models_for = [&](LacoScheme scheme) -> const LacoModels* {
+    switch (scheme) {
+      case LacoScheme::kDreamCong: return &dreamcong;
+      case LacoScheme::kCellFlowKL: return &laco_full;
+      default: return nullptr;
+    }
+  };
+
+  struct Row {
+    std::string design;
+    std::size_t cells, nets;
+    double wcs_h[3], wcs_v[3], wl[3], ace5[3];
+  };
+  std::vector<Row> rows;
+
+  // WCS is a max statistic and noisy on single runs at analog scale:
+  // average each (design, scheme) over a few placement seeds.
+  const int seeds = std::max(1, bench::env_int("LACO_BENCH_T1_SEEDS", 2));
+  const PipelineConfig& pcfg = pipeline.config();
+  for (const std::string& name : ispd2015_design_names()) {
+    Row row{};
+    row.design = name;
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      row.wcs_h[si] = row.wcs_v[si] = row.wl[si] = row.ace5[si] = 0.0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Design design = make_ispd2015_analog(name, s.scale);
+        row.cells = design.num_movable();
+        row.nets = design.num_nets();
+        LacoPlacerConfig cfg;
+        cfg.scheme = schemes[si];
+        cfg.placer = pcfg.trace.placer;
+        cfg.placer.seed = pcfg.trace.placer.seed + static_cast<unsigned>(131 * seed);
+        cfg.penalty = pipeline.penalty_config();
+        cfg.router = pcfg.trace.router;
+        const LacoRunResult result = run_laco_placement(design, cfg, models_for(schemes[si]));
+        row.wcs_h[si] += result.evaluation.wcs_h / seeds;
+        row.wcs_v[si] += result.evaluation.wcs_v / seeds;
+        row.wl[si] += result.evaluation.routed_wirelength / seeds;
+        row.ace5[si] += result.evaluation.ace.ace_5 / seeds;
+      }
+    }
+    rows.push_back(row);
+    std::cout << "  " << row.design << " done (cells=" << row.cells << ", " << seeds
+              << " seeds/scheme)\n";
+  }
+  std::cout << '\n';
+
+  // ACE(5%) is reported alongside the paper's WCS: a tail average is far
+  // less seed-noisy than a max at this design scale.
+  Table table({"Benchmark", "#Cells", "#Nets", "DP:WCS_H", "DP:WCS_V", "DP:ACE5", "DP:WL",
+               "DC:WCS_H", "DC:WCS_V", "DC:ACE5", "DC:WL", "LACO:WCS_H", "LACO:WCS_V",
+               "LACO:ACE5", "LACO:WL"});
+  double avg[3][4] = {};
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.design, std::to_string(row.cells),
+                                   std::to_string(row.nets)};
+    for (int si = 0; si < 3; ++si) {
+      cells.push_back(Table::fmt(row.wcs_h[si], 2));
+      cells.push_back(Table::fmt(row.wcs_v[si], 2));
+      cells.push_back(Table::fmt(row.ace5[si], 2));
+      cells.push_back(Table::fmt(row.wl[si], 1));
+      avg[si][0] += row.wcs_h[si] / rows.size();
+      avg[si][1] += row.wcs_v[si] / rows.size();
+      avg[si][2] += row.ace5[si] / rows.size();
+      avg[si][3] += row.wl[si] / rows.size();
+    }
+    table.add_row(std::move(cells));
+  }
+  std::vector<std::string> avg_row{"Average", "-", "-"};
+  std::vector<std::string> ratio_row{"Ratio", "-", "-"};
+  for (int si = 0; si < 3; ++si) {
+    for (int m = 0; m < 4; ++m) {
+      avg_row.push_back(Table::fmt(avg[si][m], m == 3 ? 1 : 2));
+      ratio_row.push_back(Table::fmt(avg[0][m] > 0 ? avg[si][m] / avg[0][m] : 0.0, 2));
+    }
+  }
+  table.add_row(std::move(avg_row));
+  table.add_row(std::move(ratio_row));
+  std::cout << table.to_string();
+  table.write_csv("table1_comparison.csv");
+
+  std::cout << "\npaper reference (Table I ratio row): DREAM-Cong 0.99 / 0.98 / 1.01, "
+               "LACO 0.92 / 0.94 / 1.00\nshape check: LACO should show the lowest average "
+               "WCS with wirelength within ~1% of DREAMPlace.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension ablation: the smooth-wirelength surrogate — DREAMPlace's
+// weighted-average (WA) model vs the classic log-sum-exp (LSE). Both
+// drive the same Nesterov loop; this compares converged HPWL, routed
+// quality, and iteration count on a few designs.
+#include "bench_common.hpp"
+#include "placer/global_placer.hpp"
+#include "router/congestion_eval.hpp"
+
+using namespace laco;
+
+int main() {
+  const bench::BenchSettings s = bench::settings();
+  bench::print_header("Extension: WA vs LSE wirelength model", s);
+
+  Table table({"design", "model", "GP iters", "HPWL", "routed WL", "WCS_H", "seconds"});
+  for (const std::string name : {"des_perf_1", "fft_a", "matrix_mult_1"}) {
+    for (const WirelengthKind kind :
+         {WirelengthKind::kWeightedAverage, WirelengthKind::kLogSumExp}) {
+      Design design = make_ispd2015_analog(name, s.scale);
+      GlobalPlacerOptions opts;
+      opts.bin_nx = 16;
+      opts.bin_ny = 16;
+      opts.max_iterations = s.max_iterations;
+      opts.min_iterations = std::min(80, s.max_iterations);
+      opts.wirelength_kind = kind;
+      Timer timer;
+      GlobalPlacer placer(design, opts);
+      const PlacementResult result = placer.run();
+      GlobalRouterConfig rc;
+      rc.grid.nx = 32;
+      rc.grid.ny = 32;
+      const PlacementEvaluation eval = evaluate_placement(design, rc);
+      table.add_row({name, kind == WirelengthKind::kWeightedAverage ? "WA" : "LSE",
+                     std::to_string(result.iterations), Table::fmt(result.final_hpwl, 1),
+                     Table::fmt(eval.routed_wirelength, 1), Table::fmt(eval.wcs_h, 2),
+                     Table::fmt(timer.seconds(), 2)});
+    }
+    std::cout << "  " << name << " done\n";
+  }
+  std::cout << '\n' << table.to_string();
+  table.write_csv("wirelength_models.csv");
+  std::cout << "\nexpected shape: WA typically converges to slightly shorter wirelength "
+               "(its gradient weights pin positions, LSE only ranks them), which is why "
+               "DREAMPlace adopted it; both should be close.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Analysis tool for the paper's motivating observation (Fig. 1): runs a
+// plain global placement on any suite design and reports how the
+// RUDY / PinRUDY / cell-location distributions drift relative to the
+// final iteration, as KL divergences plus spread statistics.
+//
+//   ./distribution_shift_report [design] [scale] [iterations]
+//       (defaults: des_perf_1 0.02 240)
+#include <cstdlib>
+#include <iostream>
+
+#include "features/feature_stack.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "netlist/ispd2015_suite.hpp"
+#include "placer/global_placer.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace laco;
+  set_log_level(LogLevel::kWarn);
+
+  const std::string name = argc > 1 ? argv[1] : "des_perf_1";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.02;
+  const int iterations = argc > 3 ? std::atoi(argv[3]) : 240;
+
+  Design design = make_ispd2015_analog(name, scale);
+  std::cout << "design " << name << " analog: " << design.num_movable()
+            << " movable cells\n";
+
+  const int grid = 16;
+  FeatureExtractor extractor(FeatureConfig{grid, grid, QuasiVoxScheme::kWeightedSum, false});
+  struct Sample {
+    int iteration;
+    GridMap rudy, pin_rudy, cells;
+  };
+  std::vector<Sample> samples;
+
+  GlobalPlacerOptions options;
+  options.bin_nx = 32;
+  options.bin_ny = 32;
+  options.max_iterations = iterations;
+  options.min_iterations = iterations;  // run the full horizon for a clean curve
+  options.target_overflow = 0.0;
+  GlobalPlacer placer(design, options);
+  const int stride = std::max(1, iterations / 20);
+  placer.set_observer([&](const Design& d, const IterationStats& stats) {
+    if (stats.iteration % stride != 0) return;
+    FeatureFrame frame = extractor.compute(d);
+    samples.push_back({stats.iteration, std::move(frame.rudy), std::move(frame.pin_rudy),
+                       cell_location_histogram(d, grid, grid)});
+  });
+  placer.run();
+
+  const Sample& final_sample = samples.back();
+  Table table({"iteration", "KL(RUDY||final)", "KL(PinRUDY||final)", "KL(cells||final)"});
+  for (const Sample& s : samples) {
+    table.add_row({std::to_string(s.iteration),
+                   Table::fmt(kl_divergence(s.rudy, final_sample.rudy), 4),
+                   Table::fmt(kl_divergence(s.pin_rudy, final_sample.pin_rudy), 4),
+                   Table::fmt(kl_divergence(s.cells, final_sample.cells), 4)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nInterpretation: large KL at early/mid iterations is the distribution\n"
+               "shift that breaks congestion models trained on end-of-placement features\n"
+               "— the problem LACO's look-ahead mechanism mitigates.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Trains the full LACO model stack from scratch and saves it to disk:
+//   1. collect placement traces on a few ISPD-2015 analog designs;
+//   2. train the look-ahead model g (multi-task: prediction + VAE losses);
+//   3. train the congestion model f on g's look-ahead inputs;
+//   4. report held-out congestion prediction quality (NRMS / SSIM);
+//   5. save f, g, and the feature normalization for later runs.
+//
+//   ./train_lookahead [scale] [out_prefix]    (defaults 0.004, "laco_model")
+#include <cstdlib>
+#include <iostream>
+
+#include "laco/pipeline.hpp"
+#include "netlist/ispd2015_suite.hpp"
+#include "nn/serialize.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace laco;
+  set_log_level(LogLevel::kInfo);
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.004;
+  const std::string prefix = argc > 2 ? argv[2] : "laco_model";
+
+  PipelineConfig config = default_pipeline_config();
+  config.scale = scale;
+  config.runs_per_design = 2;
+  Pipeline pipeline(config);
+
+  const std::vector<std::string> train_designs{"des_perf_1", "des_perf_a", "fft_1", "fft_2"};
+  const std::vector<std::string> test_designs{"pci_bridge32_b"};
+  std::cout << "collecting training traces on " << train_designs.size() << " designs...\n";
+  const auto& train_traces = pipeline.traces_for(train_designs);
+  const auto& test_traces = pipeline.traces_for(test_designs);
+
+  std::cout << "training Cell-flow+KL (full LACO) models...\n";
+  const LacoModels models = pipeline.train_models(LacoScheme::kCellFlowKL, train_traces);
+  std::cout << "  look-ahead parameters: " << models.lookahead->num_parameters() << "\n"
+            << "  congestion parameters: " << models.congestion->num_parameters() << "\n";
+
+  const PredictionQuality train_q = pipeline.evaluate_prediction(models, train_traces);
+  const PredictionQuality test_q = pipeline.evaluate_prediction(models, test_traces);
+  std::cout << "prediction quality (mid-placement vs final routed congestion):\n"
+            << "  train: NRMS " << train_q.nrms << ", SSIM " << train_q.ssim << " ("
+            << train_q.samples << " samples)\n"
+            << "  test:  NRMS " << test_q.nrms << ", SSIM " << test_q.ssim << " ("
+            << test_q.samples << " samples)\n";
+
+  const std::string f_path = prefix + "_congestion.bin";
+  const std::string g_path = prefix + "_lookahead.bin";
+  const std::string s_hi = prefix + "_scale_hi.txt";
+  const std::string s_lo = prefix + "_scale_lo.txt";
+  if (!nn::save_parameters_file(*models.congestion, f_path) ||
+      !nn::save_parameters_file(*models.lookahead, g_path) || !models.scale_hi.save(s_hi) ||
+      !models.scale_lo.save(s_lo)) {
+    std::cerr << "failed to save model files\n";
+    return 1;
+  }
+  std::cout << "saved: " << f_path << ", " << g_path << ", " << s_hi << ", " << s_lo << "\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every experiment: one bench binary per paper table/figure.
+# Ordered paper-critical-first. Writes bench_output.txt and CSVs.
+cd "$(dirname "$0")"
+ORDER="bench_table1_comparison bench_fig6_scheme_ablation bench_fig7_flow_ablation \
+bench_fig1_distribution_shift bench_fig3_cellflow bench_fig8_runtime \
+bench_quasivox_ablation bench_lookahead_horizon bench_history_frames \
+bench_eta_sweep bench_inflation_baseline bench_wirelength_models bench_kernels"
+{
+  for name in $ORDER; do
+    echo
+    echo "########## $name ##########"
+    echo
+    "build/bench/$name"
+  done
+} > bench_output.txt 2>&1
+echo DONE > /tmp/bench_sweep_done

@@ -1,0 +1,128 @@
+#include "features/cell_flow.hpp"
+
+#include <stdexcept>
+
+namespace laco {
+namespace {
+
+/// Per-bin aggregation state shared by the three schemes.
+struct BinState {
+  int count = 0;
+  double best_size = -1.0;  // sampling: size of the largest cell so far
+  double best_fx = 0.0, best_fy = 0.0;
+  double sum_fx = 0.0, sum_fy = 0.0;            // averaging
+  double wsum_fx = 0.0, wsum_fy = 0.0;          // weighted-sum
+};
+
+}  // namespace
+
+const char* to_string(QuasiVoxScheme scheme) {
+  switch (scheme) {
+    case QuasiVoxScheme::kSampling: return "sampling";
+    case QuasiVoxScheme::kAveraging: return "averaging";
+    case QuasiVoxScheme::kWeightedSum: return "weighted-sum";
+  }
+  return "?";
+}
+
+CellFlow compute_cell_flow(const Design& design, const std::vector<double>& prev_x,
+                           const std::vector<double>& prev_y, int nx, int ny,
+                           QuasiVoxScheme scheme) {
+  const auto& movable = design.movable_cells();
+  if (prev_x.size() != movable.size() || prev_y.size() != movable.size()) {
+    throw std::invalid_argument("compute_cell_flow: prev position size mismatch");
+  }
+  CellFlow out{GridMap(nx, ny, design.core(), 0.0), GridMap(nx, ny, design.core(), 0.0)};
+  std::vector<BinState> bins(static_cast<std::size_t>(nx) * ny);
+
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    const Cell& cell = design.cell(movable[i]);
+    const Point now = cell.center();
+    const double fx = now.x - prev_x[i];
+    const double fy = now.y - prev_y[i];
+    const GridIndex b = out.flow_x.bin_of(now);
+    BinState& st = bins[static_cast<std::size_t>(b.l) * nx + b.k];
+    st.count += 1;
+    const double s = cell.area();
+    if (s > st.best_size) {
+      st.best_size = s;
+      st.best_fx = fx;
+      st.best_fy = fy;
+    }
+    st.sum_fx += fx;
+    st.sum_fy += fy;
+    st.wsum_fx += s * fx;
+    st.wsum_fy += s * fy;
+  }
+
+  for (int l = 0; l < ny; ++l) {
+    for (int k = 0; k < nx; ++k) {
+      const BinState& st = bins[static_cast<std::size_t>(l) * nx + k];
+      if (st.count == 0) continue;
+      switch (scheme) {
+        case QuasiVoxScheme::kSampling:
+          out.flow_x.at(k, l) = st.best_size * st.best_fx;
+          out.flow_y.at(k, l) = st.best_size * st.best_fy;
+          break;
+        case QuasiVoxScheme::kAveraging:
+          out.flow_x.at(k, l) = st.sum_fx / st.count;
+          out.flow_y.at(k, l) = st.sum_fy / st.count;
+          break;
+        case QuasiVoxScheme::kWeightedSum:
+          out.flow_x.at(k, l) = st.wsum_fx / st.count;
+          out.flow_y.at(k, l) = st.wsum_fy / st.count;
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+void cell_flow_backward(const Design& design, const GridMap& upstream_x,
+                        const GridMap& upstream_y, QuasiVoxScheme scheme,
+                        std::vector<double>& grad_x, std::vector<double>& grad_y) {
+  if (grad_x.size() != design.num_cells() || grad_y.size() != design.num_cells()) {
+    throw std::invalid_argument("cell_flow_backward: gradient buffers must have num_cells entries");
+  }
+  const int nx = upstream_x.nx();
+  const int ny = upstream_x.ny();
+  const auto& movable = design.movable_cells();
+
+  // First pass: per-bin cell count and (for sampling) the selected cell.
+  std::vector<int> count(static_cast<std::size_t>(nx) * ny, 0);
+  std::vector<double> best_size(static_cast<std::size_t>(nx) * ny, -1.0);
+  std::vector<CellId> best_cell(static_cast<std::size_t>(nx) * ny, kNoCell);
+  for (const CellId cid : movable) {
+    const Cell& cell = design.cell(cid);
+    const GridIndex b = upstream_x.bin_of(cell.center());
+    const std::size_t idx = static_cast<std::size_t>(b.l) * nx + b.k;
+    count[idx] += 1;
+    if (cell.area() > best_size[idx]) {
+      best_size[idx] = cell.area();
+      best_cell[idx] = cid;
+    }
+  }
+
+  for (const CellId cid : movable) {
+    const Cell& cell = design.cell(cid);
+    const GridIndex b = upstream_x.bin_of(cell.center());
+    const std::size_t idx = static_cast<std::size_t>(b.l) * nx + b.k;
+    double coeff = 0.0;
+    switch (scheme) {
+      case QuasiVoxScheme::kSampling:
+        coeff = (cid == best_cell[idx]) ? cell.area() : 0.0;
+        break;
+      case QuasiVoxScheme::kAveraging:
+        coeff = 1.0 / count[idx];
+        break;
+      case QuasiVoxScheme::kWeightedSum:
+        coeff = cell.area() / count[idx];
+        break;
+    }
+    if (coeff == 0.0) continue;
+    grad_x[static_cast<std::size_t>(cid)] += coeff * upstream_x.at(b.k, b.l);
+    grad_y[static_cast<std::size_t>(cid)] += coeff * upstream_y.at(b.k, b.l);
+  }
+}
+
+}  // namespace laco

@@ -1,0 +1,47 @@
+// Cell flow, the paper's optical-flow analog (Sec. III-B). For each
+// movable cell j, the per-cell flow between iterations i−K and i is
+//   c'_j = (x_{i,j} − x_{i−K,j}, y_{i,j} − y_{i−K,j}).
+// The per-cell flows are downsampled onto the feature grid by one of
+// three quasi-voxelization schemes, paper Eqs. (13)–(15):
+//   sampling      c(k,l) = s_ĵ · c'_ĵ,   ĵ = argmax_j s_j
+//   averaging     c(k,l) = (1/N) Σ c'_j
+//   weighted-sum  c(k,l) = Σ (s_j/N) · c'_j
+// producing a 2 × M × N field (horizontal + vertical components).
+//
+// Gradients (paper Sec. III-E item 4): w.r.t. the *current* positions,
+// d c(k,l) / d x_j is s_ĵ (sampling, selected cell only), 1/N
+// (averaging), or s_j/N (weighted-sum).
+#pragma once
+
+#include <vector>
+
+#include "gridmap/grid_map.hpp"
+#include "netlist/design.hpp"
+
+namespace laco {
+
+enum class QuasiVoxScheme { kSampling, kAveraging, kWeightedSum };
+
+const char* to_string(QuasiVoxScheme scheme);
+
+/// Horizontal (x) and vertical (y) downsampled flow components.
+struct CellFlow {
+  GridMap flow_x;
+  GridMap flow_y;
+};
+
+/// Computes the downsampled cell flow. `prev_x` / `prev_y` are movable-
+/// cell center coordinates at iteration i−K, in Design::movable_cells()
+/// order; current positions come from the design itself. Cells are
+/// assigned to grid-cells by their *current* centers. `s_j` is cell area.
+CellFlow compute_cell_flow(const Design& design, const std::vector<double>& prev_x,
+                           const std::vector<double>& prev_y, int nx, int ny,
+                           QuasiVoxScheme scheme);
+
+/// Accumulates dL/dx, dL/dy per cell (CellId-indexed) given upstream
+/// gradients on both flow components.
+void cell_flow_backward(const Design& design, const GridMap& upstream_x,
+                        const GridMap& upstream_y, QuasiVoxScheme scheme,
+                        std::vector<double>& grad_x, std::vector<double>& grad_y);
+
+}  // namespace laco

@@ -1,0 +1,18 @@
+#include "features/macro_region.hpp"
+
+namespace laco {
+
+GridMap compute_macro_region(const Design& design, int nx, int ny) {
+  GridMap coverage(nx, ny, design.core(), 0.0);
+  for (const Cell& cell : design.cells()) {
+    if (cell.kind != CellKind::kMacro) continue;
+    coverage.add_rect(cell.rect(), 1.0, /*density_mode=*/false);
+  }
+  GridMap out(nx, ny, design.core(), 0.0);
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    out[i] = coverage[i] > 0.5 ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace laco

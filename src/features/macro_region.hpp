@@ -1,0 +1,15 @@
+// MacroRegion, paper Eq. (7): 1 where a grid-cell lies inside a fixed
+// macro, 0 elsewhere. Macros never move (paper Sec. III-E item 3), so
+// the feature carries zero gradient and there is no backward function.
+#pragma once
+
+#include "gridmap/grid_map.hpp"
+#include "netlist/design.hpp"
+
+namespace laco {
+
+/// Binary macro-coverage map. A grid-cell counts as "in a macro" when
+/// more than half of its area is covered by macro cells.
+GridMap compute_macro_region(const Design& design, int nx, int ny);
+
+}  // namespace laco

@@ -1,0 +1,22 @@
+// PinRUDY, paper Eqs. (5)–(6): each pin deposits its net's RUDY value
+// (1/w + 1/h) into the single grid-cell containing the pin. The backward
+// pass follows the RUDY pattern (paper Sec. III-E item 2): only the net
+// bounding-box value term carries gradient; the bin-membership function
+// is piecewise constant and contributes none.
+#pragma once
+
+#include <vector>
+
+#include "gridmap/grid_map.hpp"
+#include "netlist/design.hpp"
+
+namespace laco {
+
+GridMap compute_pin_rudy(const Design& design, int nx, int ny);
+
+/// Accumulates dL/dx, dL/dy per cell (indexed by CellId) given
+/// dL/dPinRUDY[k,l]. Fixed cells receive no gradient.
+void pin_rudy_backward(const Design& design, const GridMap& upstream,
+                       std::vector<double>& grad_x, std::vector<double>& grad_y);
+
+}  // namespace laco

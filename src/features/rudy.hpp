@@ -1,0 +1,28 @@
+// RUDY (Rectangular Uniform wire DensitY), paper Eqs. (2)–(4), and its
+// analytic gradient w.r.t. cell coordinates, paper Eq. (17).
+//
+// For each net e with pin bounding box [xl, xh] × [yl, yh], the net
+// contributes the constant value (1/w + 1/h) inside its box; the
+// grid-cell value is the overlap-area-weighted sum over nets. Degenerate
+// boxes are widened to one grid-cell so the value (and gradient) stays
+// finite — the same guard DREAMPlace-style implementations use.
+#pragma once
+
+#include <vector>
+
+#include "gridmap/grid_map.hpp"
+#include "netlist/design.hpp"
+
+namespace laco {
+
+/// Forward RUDY map on an nx × ny grid over the design core.
+GridMap compute_rudy(const Design& design, int nx, int ny);
+
+/// Accumulates the paper's Eq. (17) gradient: given dL/dRUDY[k,l],
+/// adds dL/dx, dL/dy for each *cell* (indexed by CellId) into grad_x /
+/// grad_y. Only the pins attaining a net's bounding-box extremes carry
+/// gradient (the value term of Eq. 17b); fixed cells receive none.
+void rudy_backward(const Design& design, const GridMap& upstream,
+                   std::vector<double>& grad_x, std::vector<double>& grad_y);
+
+}  // namespace laco

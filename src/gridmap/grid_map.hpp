@@ -1,0 +1,82 @@
+// GridMap: a dense 2D scalar field over the layout region, divided into
+// nx × ny grid-cells ("bins" in placement, "GCells" in routing). It is
+// the common currency between feature extraction (RUDY et al.), the
+// neural models (as tensor channels), the router (capacity/usage maps),
+// and the metrics (NRMS/SSIM/KL).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace laco {
+
+class GridMap {
+ public:
+  GridMap() = default;
+  /// A field of nx columns × ny rows over `region`, initialized to `fill`.
+  GridMap(int nx, int ny, Rect region, double fill = 0.0);
+  /// Unit-square region convenience constructor.
+  GridMap(int nx, int ny, double fill = 0.0)
+      : GridMap(nx, ny, Rect{0.0, 0.0, 1.0, 1.0}, fill) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+  const Rect& region() const { return region_; }
+  double bin_width() const { return bin_w_; }
+  double bin_height() const { return bin_h_; }
+  double bin_area() const { return bin_w_ * bin_h_; }
+
+  double& at(int k, int l) { return data_[index(k, l)]; }
+  double at(int k, int l) const { return data_[index(k, l)]; }
+  /// Row-major flat access (l * nx + k).
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Grid-cell containing layout point p, clamped to the grid.
+  GridIndex bin_of(Point p) const;
+  /// Layout-space bounding box of grid-cell (k, l).
+  Rect bin_rect(int k, int l) const;
+  /// Range [k0, k1] × [l0, l1] of bins overlapping `r` (clamped).
+  void bin_range(const Rect& r, int& k0, int& k1, int& l0, int& l1) const;
+
+  void fill(double value);
+  /// Adds `value` × (overlap area fraction of each bin) over rectangle r.
+  /// With `density_mode` the value is spread so the *integral* over r is
+  /// value (i.e. each bin receives value * overlap / area(r)).
+  void add_rect(const Rect& r, double value, bool density_mode = false);
+  /// Bilinear interpolation of the field at layout point p (bin centers
+  /// are the sample sites; clamped at the boundary).
+  double sample_bilinear(Point p) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const;
+
+  GridMap& operator+=(const GridMap& other);
+  GridMap& operator-=(const GridMap& other);
+  GridMap& operator*=(double scale);
+
+  /// Area-weighted resampling to a new resolution over the same region.
+  GridMap resampled(int new_nx, int new_ny) const;
+  /// Per-element |a - b| sum; used by tests.
+  static double l1_distance(const GridMap& a, const GridMap& b);
+
+ private:
+  std::size_t index(int k, int l) const;
+
+  int nx_ = 0;
+  int ny_ = 0;
+  Rect region_{};
+  double bin_w_ = 0.0;
+  double bin_h_ = 0.0;
+  std::vector<double> data_;
+};
+
+}  // namespace laco

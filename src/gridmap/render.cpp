@@ -1,0 +1,39 @@
+#include "gridmap/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace laco {
+
+std::string ascii_heatmap(const GridMap& map, const RenderOptions& options) {
+  const GridMap* source = &map;
+  GridMap resampled_storage;
+  if (map.nx() > options.max_width || map.ny() > options.max_height) {
+    const int nx = std::min(map.nx(), options.max_width);
+    const int ny = std::min(map.ny(), options.max_height);
+    resampled_storage = map.resampled(nx, ny);
+    source = &resampled_storage;
+  }
+  double lo = options.lo, hi = options.hi;
+  if (!(lo < hi)) {
+    lo = source->min();
+    hi = source->max();
+  }
+  const double span = hi - lo;
+  const std::string& ramp = options.ramp;
+  std::ostringstream os;
+  for (int l = source->ny() - 1; l >= 0; --l) {
+    for (int k = 0; k < source->nx(); ++k) {
+      double t = span > 0.0 ? (source->at(k, l) - lo) / span : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      const std::size_t idx = std::min(ramp.size() - 1,
+                                       static_cast<std::size_t>(t * static_cast<double>(ramp.size())));
+      os << ramp[idx];
+    }
+    os << '\n';
+  }
+  os << "[" << lo << " '" << ramp.front() << "' .. '" << ramp.back() << "' " << hi << "]\n";
+  return os.str();
+}
+
+}  // namespace laco

@@ -1,0 +1,26 @@
+// Terminal rendering of GridMaps — congestion maps, density maps, RUDY
+// — as ASCII heatmaps. Used by examples and benches to make results
+// inspectable without a plotting stack.
+#pragma once
+
+#include <string>
+
+#include "gridmap/grid_map.hpp"
+
+namespace laco {
+
+struct RenderOptions {
+  int max_width = 64;   ///< downsample wider maps to at most this many columns
+  int max_height = 32;
+  /// Ramp from low to high; default has 10 levels.
+  std::string ramp = " .:-=+*#%@";
+  /// Fixed scale bounds; if lo >= hi, the map's min/max are used.
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Renders the map north-up (row ny-1 first). Appends a legend line with
+/// the value range.
+std::string ascii_heatmap(const GridMap& map, const RenderOptions& options = {});
+
+}  // namespace laco

@@ -1,0 +1,220 @@
+#include "laco/congestion_penalty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+
+namespace laco {
+namespace {
+
+void freeze(nn::Module& module) {
+  for (nn::Tensor p : module.parameters()) p.set_requires_grad(false);
+}
+
+double abs_sum(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (const double v : a) s += std::abs(v);
+  for (const double v : b) s += std::abs(v);
+  return s;
+}
+
+/// Converts one channel of a tensor's gradient into a GridMap, applying
+/// the (multiplicative) feature normalization's chain factor.
+GridMap grad_channel(const nn::Tensor& t, int channel, const Rect& region, float scale) {
+  const int c = t.dim(1), h = t.dim(2), w = t.dim(3);
+  GridMap map(w, h, region, 0.0);
+  if (t.grad().empty()) return map;
+  const std::size_t base = static_cast<std::size_t>(channel) * h * w;
+  (void)c;
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    map[i] = static_cast<double>(t.grad()[base + i]) * scale;
+  }
+  return map;
+}
+
+}  // namespace
+
+CongestionPenalty::CongestionPenalty(PenaltyConfig config, LacoModels models)
+    : config_(config),
+      models_(std::move(models)),
+      traits_(traits_of(models_.scheme)),
+      hi_extractor_([&] {
+        FeatureConfig c = config.features_hi;
+        c.with_flow = traits_.f_uses_flow;
+        return c;
+      }()),
+      lo_extractor_([&] {
+        FeatureConfig c = config.features_lo;
+        c.with_flow = traits_.g_uses_flow;
+        return c;
+      }()),
+      history_(config.frames, config.spacing) {
+  if (!models_.congestion) {
+    throw std::invalid_argument("CongestionPenalty: congestion model required");
+  }
+  if (traits_.uses_lookahead && !models_.lookahead) {
+    throw std::invalid_argument("CongestionPenalty: look-ahead model required for scheme " +
+                                to_string(models_.scheme));
+  }
+  // Inference-only models: freezing parameters keeps the autograd graph
+  // restricted to the feature inputs, which is all the penalty needs.
+  freeze(*models_.congestion);
+  if (models_.lookahead) freeze(*models_.lookahead);
+}
+
+FeatureFrame CongestionPenalty::compute_frame(const Design& design,
+                                              const FeatureExtractor& extractor,
+                                              const std::vector<double>* px,
+                                              const std::vector<double>* py,
+                                              int iteration) const {
+  FeatureFrame frame;
+  {
+    std::optional<ScopedPhase> phase;
+    if (breakdown_) phase.emplace(*breakdown_, "feature gathering");
+    frame = extractor.compute(design, nullptr, nullptr, iteration);
+  }
+  if (extractor.config().with_flow && px != nullptr && py != nullptr) {
+    std::optional<ScopedPhase> phase;
+    if (breakdown_) phase.emplace(*breakdown_, "cell flow");
+    CellFlow flow = compute_cell_flow(design, *px, *py, extractor.config().nx,
+                                      extractor.config().ny, extractor.config().scheme);
+    frame.flow_x = std::move(flow.flow_x);
+    frame.flow_y = std::move(flow.flow_y);
+  }
+  return frame;
+}
+
+nn::Tensor CongestionPenalty::build_input(const Design& design, nn::Tensor& hi_input,
+                                          nn::Tensor& lo_input, bool with_grad) {
+  const int f_short_channels = traits_.uses_lookahead ? (traits_.f_uses_flow ? 5 : 3) : 3;
+  const std::vector<double>* px = history_.has_positions() ? &history_.prev_x() : nullptr;
+  const std::vector<double>* py = history_.has_positions() ? &history_.prev_y() : nullptr;
+
+  // Current frame at congestion resolution (the shortcut / direct input).
+  const bool hi_needs_flow = traits_.f_uses_flow;
+  const FeatureFrame hi_frame =
+      compute_frame(design, hi_extractor_, hi_needs_flow ? px : nullptr,
+                    hi_needs_flow ? py : nullptr, 0);
+  hi_input = frame_to_tensor(hi_frame, models_.scale_hi, f_short_channels);
+  hi_input.set_requires_grad(with_grad);
+
+  if (!traits_.uses_lookahead) return hi_input;
+
+  // Current frame at look-ahead resolution.
+  const int nc_g = models_.lookahead->config().channels_per_frame;
+  const FeatureFrame lo_frame =
+      compute_frame(design, lo_extractor_, traits_.g_uses_flow ? px : nullptr,
+                    traits_.g_uses_flow ? py : nullptr, 0);
+  lo_input = frame_to_tensor(lo_frame, models_.scale_lo, nc_g);
+  lo_input.set_requires_grad(with_grad);
+
+  nn::Tensor context = frames_to_tensor(history_.context(), models_.scale_lo, nc_g);
+  nn::Tensor g_in = nn::cat_channels({context, lo_input});
+
+  nn::Tensor prediction;
+  {
+    std::optional<ScopedPhase> phase;
+    if (breakdown_) phase.emplace(*breakdown_, "look-ahead model");
+    prediction = models_.lookahead->forward(g_in).prediction;
+  }
+  if (!traits_.f_uses_flow && nc_g > 3) {
+    prediction = nn::slice_channels(prediction, 0, 3);  // Less-flow-KL
+  }
+  nn::Tensor pred_hi =
+      nn::upsample_bilinear(prediction, config_.features_hi.ny, config_.features_hi.nx);
+  return nn::cat_channels({pred_hi, hi_input});
+}
+
+double CongestionPenalty::operator()(const Design& design, int iteration,
+                                     std::vector<double>& grad_x, std::vector<double>& grad_y) {
+  // History tick: capture the look-ahead frame every K iterations.
+  if (traits_.uses_lookahead && history_.due(iteration)) {
+    const std::vector<double>* px = history_.has_positions() ? &history_.prev_x() : nullptr;
+    const std::vector<double>* py = history_.has_positions() ? &history_.prev_y() : nullptr;
+    FeatureFrame lo = compute_frame(design, lo_extractor_,
+                                    traits_.g_uses_flow ? px : nullptr,
+                                    traits_.g_uses_flow ? py : nullptr, iteration);
+    history_.capture(std::move(lo), design);
+  }
+
+  if (iteration < config_.start_iteration) return 0.0;
+  if ((iteration - config_.start_iteration) % config_.apply_every != 0) return 0.0;
+  if (traits_.uses_lookahead && !history_.ready()) return 0.0;
+
+  nn::Tensor hi_input, lo_input;
+  nn::Tensor f_in = build_input(design, hi_input, lo_input, /*with_grad=*/true);
+
+  nn::Tensor penalty;
+  {
+    std::optional<ScopedPhase> phase;
+    if (breakdown_) phase.emplace(*breakdown_, "congestion model");
+    // Eq. (9)/(10): mean squared congestion prediction.
+    penalty = nn::mean_square(models_.congestion->forward(f_in));
+  }
+  {
+    std::optional<ScopedPhase> phase;
+    if (breakdown_) phase.emplace(*breakdown_, "penalty backward");
+    penalty.backward();
+  }
+
+  // Chain tensor gradients back to cell coordinates through the analytic
+  // feature backward passes.
+  std::vector<double> pen_gx(design.num_movable(), 0.0);
+  std::vector<double> pen_gy(design.num_movable(), 0.0);
+  const Rect& region = design.core();
+
+  const auto accumulate = [&](const nn::Tensor& input, const FeatureExtractor& extractor,
+                              const FeatureScale& scale) {
+    if (!input.defined() || input.grad().empty()) return;
+    const int channels = input.dim(1);
+    FeatureFrameGrad upstream{
+        grad_channel(input, 0, region, scale.scale[0]),
+        grad_channel(input, 1, region, scale.scale[1]),
+        channels > 3 ? grad_channel(input, 3, region, scale.scale[3])
+                     : GridMap(input.dim(3), input.dim(2), region, 0.0),
+        channels > 4 ? grad_channel(input, 4, region, scale.scale[4])
+                     : GridMap(input.dim(3), input.dim(2), region, 0.0),
+    };
+    std::vector<double> gx, gy;
+    extractor.backward(design, upstream, gx, gy);
+    for (std::size_t i = 0; i < gx.size(); ++i) {
+      pen_gx[i] += gx[i];
+      pen_gy[i] += gy[i];
+    }
+  };
+  {
+    std::optional<ScopedPhase> phase;
+    if (breakdown_) phase.emplace(*breakdown_, "penalty backward");
+    accumulate(hi_input, hi_extractor_, models_.scale_hi);
+    if (traits_.uses_lookahead) accumulate(lo_input, lo_extractor_, models_.scale_lo);
+  }
+
+  // Normalize the penalty gradient to an η fraction of the incoming
+  // (wirelength + density) gradient norm, then add.
+  const double base_norm = abs_sum(grad_x, grad_y);
+  const double pen_norm = abs_sum(pen_gx, pen_gy);
+  if (pen_norm > 1e-30 && base_norm > 0.0) {
+    const double s = config_.eta * base_norm / pen_norm;
+    const auto& movable = design.movable_cells();
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      grad_x[static_cast<std::size_t>(movable[i])] += s * pen_gx[i];
+      grad_y[static_cast<std::size_t>(movable[i])] += s * pen_gy[i];
+    }
+  }
+  return penalty.item();
+}
+
+bool CongestionPenalty::predict(const Design& design, GridMap& out) {
+  if (traits_.uses_lookahead && !history_.ready()) return false;
+  nn::NoGradGuard guard;
+  nn::Tensor hi_input, lo_input;
+  nn::Tensor f_in = build_input(design, hi_input, lo_input, /*with_grad=*/false);
+  nn::Tensor prediction = models_.congestion->forward(f_in);
+  out = tensor_to_gridmap(prediction, 0, 0, design.core());
+  return true;
+}
+
+}  // namespace laco

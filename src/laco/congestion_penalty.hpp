@@ -1,0 +1,90 @@
+// The congestion penalty L(x, y) and its gradient chain — the paper's
+// central mechanism (Sec. III-A and III-E):
+//
+//   L_i = (1/MN) ‖ f ∘ g(X_{i-(C-1)K}, ..., X_i) ‖²        (Eq. 12)
+//
+// For look-ahead schemes, the current frame X_i (at both the look-ahead
+// and congestion resolutions) is a differentiable input: autograd
+// produces ∇_{X_i} L, and the analytic feature backward passes (RUDY /
+// PinRUDY / cell-flow, Eq. 17) chain it to ∇_{x,y} L, which is added to
+// the placement gradient with weight η. DREAM-Cong is the degenerate
+// case f(X_i) without g.
+//
+// η is interpreted as a *fraction of the incoming gradient norm* (the
+// penalty gradient is rescaled so its L1 norm is η × the L1 norm of the
+// wirelength+density gradient). This keeps the trade-off stable across
+// designs and scales — a deviation from the paper's fixed η, documented
+// in DESIGN.md.
+#pragma once
+
+#include <memory>
+
+#include "features/feature_stack.hpp"
+#include "laco/frame_history.hpp"
+#include "models/congestion_fcn.hpp"
+#include "models/lookahead_simvp.hpp"
+#include "models/model_io.hpp"
+#include "placer/global_placer.hpp"
+#include "train/scheme.hpp"
+#include "util/timer.hpp"
+
+namespace laco {
+
+/// Trained models shared by penalty instances and the pipeline.
+struct LacoModels {
+  LacoScheme scheme = LacoScheme::kCellFlowKL;
+  std::shared_ptr<CongestionFcn> congestion;   ///< f
+  std::shared_ptr<LookAheadModel> lookahead;   ///< g (null unless look-ahead)
+  FeatureScale scale_hi;  ///< congestion-resolution normalization
+  FeatureScale scale_lo;  ///< look-ahead-resolution normalization
+};
+
+struct PenaltyConfig {
+  FeatureConfig features_hi;  ///< congestion-model grid (e.g. 64×64)
+  FeatureConfig features_lo;  ///< look-ahead grid (e.g. 32×32)
+  int frames = 4;             ///< C
+  int spacing = 50;           ///< K
+  double eta = 0.25;          ///< penalty gradient weight (norm fraction)
+  int start_iteration = 50;   ///< no penalty before this iteration
+  int apply_every = 5;        ///< penalty recomputed every n iterations
+};
+
+class CongestionPenalty {
+ public:
+  CongestionPenalty(PenaltyConfig config, LacoModels models);
+
+  /// GlobalPlacer::PenaltyHook: returns L and accumulates η-scaled
+  /// gradients into the CellId-indexed buffers.
+  double operator()(const Design& design, int iteration, std::vector<double>& grad_x,
+                    std::vector<double>& grad_y);
+
+  void set_runtime_breakdown(RuntimeBreakdown* breakdown) { breakdown_ = breakdown; }
+
+  /// Predicted congestion map at the design's current state (inference
+  /// only, no gradients) — used for NRMS/SSIM evaluation mid-placement.
+  /// Returns false (and leaves `out` untouched) when history is not yet
+  /// ready for a look-ahead prediction.
+  bool predict(const Design& design, GridMap& out);
+
+  const PenaltyConfig& config() const { return config_; }
+
+ private:
+  /// Assembles f's input tensor; `hi_input`/`lo_input` receive the
+  /// differentiable current-frame tensors (undefined if unused).
+  nn::Tensor build_input(const Design& design, nn::Tensor& hi_input, nn::Tensor& lo_input,
+                         bool with_grad);
+  FeatureFrame compute_frame(const Design& design, const FeatureExtractor& extractor,
+                             const std::vector<double>* px, const std::vector<double>* py,
+                             int iteration) const;
+
+  PenaltyConfig config_;
+  LacoModels models_;
+  SchemeTraits traits_;
+  FeatureExtractor hi_extractor_;
+  FeatureExtractor lo_extractor_;
+  FrameHistory history_;
+  // Positions at the last history tick, at congestion resolution reuse.
+  RuntimeBreakdown* breakdown_ = nullptr;
+};
+
+}  // namespace laco

@@ -1,0 +1,33 @@
+#include "laco/frame_history.hpp"
+
+#include <stdexcept>
+
+namespace laco {
+
+FrameHistory::FrameHistory(int frames, int spacing) : frames_(frames), spacing_(spacing) {
+  if (frames < 2) throw std::invalid_argument("FrameHistory: need at least 2 frames");
+  if (spacing < 1) throw std::invalid_argument("FrameHistory: spacing must be >= 1");
+}
+
+void FrameHistory::capture(FeatureFrame frame, const Design& design) {
+  history_.push_back(std::move(frame));
+  while (static_cast<int>(history_.size()) > frames_ - 1) history_.pop_front();
+  design.get_movable_positions(prev_x_, prev_y_);
+  has_positions_ = true;
+}
+
+std::vector<const FeatureFrame*> FrameHistory::context() const {
+  std::vector<const FeatureFrame*> out;
+  out.reserve(history_.size());
+  for (const FeatureFrame& frame : history_) out.push_back(&frame);
+  return out;
+}
+
+void FrameHistory::clear() {
+  history_.clear();
+  prev_x_.clear();
+  prev_y_.clear();
+  has_positions_ = false;
+}
+
+}  // namespace laco

@@ -1,0 +1,47 @@
+// Rolling history of look-ahead-resolution feature frames captured every
+// K placement iterations — the {X_{i-(C-1)K}, ..., X_{i-K}} context the
+// look-ahead model consumes (paper Eq. 11), plus the cell positions at
+// the last capture (needed to compute the current frame's cell flow).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "features/feature_stack.hpp"
+
+namespace laco {
+
+class FrameHistory {
+ public:
+  /// `frames` = C (total context length including the current frame);
+  /// `spacing` = K.
+  FrameHistory(int frames, int spacing);
+
+  int spacing() const { return spacing_; }
+  bool due(int iteration) const { return iteration % spacing_ == 0; }
+
+  /// Stores a captured frame and the positions it was computed at.
+  void capture(FeatureFrame frame, const Design& design);
+
+  /// True once C−1 past frames are available (the current frame supplies
+  /// the C-th).
+  bool ready() const { return static_cast<int>(history_.size()) >= frames_ - 1; }
+
+  /// The most recent C−1 stored frames, oldest first.
+  std::vector<const FeatureFrame*> context() const;
+
+  bool has_positions() const { return has_positions_; }
+  const std::vector<double>& prev_x() const { return prev_x_; }
+  const std::vector<double>& prev_y() const { return prev_y_; }
+
+  void clear();
+
+ private:
+  int frames_;
+  int spacing_;
+  std::deque<FeatureFrame> history_;
+  std::vector<double> prev_x_, prev_y_;
+  bool has_positions_ = false;
+};
+
+}  // namespace laco

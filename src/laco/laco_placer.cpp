@@ -1,0 +1,39 @@
+#include "laco/laco_placer.hpp"
+
+#include <stdexcept>
+
+namespace laco {
+
+LacoRunResult run_laco_placement(Design& design, const LacoPlacerConfig& config,
+                                 const LacoModels* models) {
+  LacoRunResult result;
+  const SchemeTraits traits = traits_of(config.scheme);
+
+  GlobalPlacer placer(design, config.placer);
+  placer.set_runtime_breakdown(&result.breakdown);
+
+  std::optional<CongestionPenalty> penalty;
+  if (traits.uses_penalty) {
+    if (models == nullptr) {
+      throw std::invalid_argument("run_laco_placement: scheme " + to_string(config.scheme) +
+                                  " requires trained models");
+    }
+    if (models->scheme != config.scheme) {
+      throw std::invalid_argument("run_laco_placement: models trained for " +
+                                  to_string(models->scheme) + ", requested " +
+                                  to_string(config.scheme));
+    }
+    penalty.emplace(config.penalty, *models);
+    penalty->set_runtime_breakdown(&result.breakdown);
+    placer.set_penalty_hook([&penalty](const Design& d, int iter, std::vector<double>& gx,
+                                       std::vector<double>& gy) {
+      return (*penalty)(d, iter, gx, gy);
+    });
+  }
+
+  result.placement = placer.run();
+  result.evaluation = evaluate_placement(design, config.router);
+  return result;
+}
+
+}  // namespace laco

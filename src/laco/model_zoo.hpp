@@ -1,0 +1,22 @@
+// Persistence for a complete trained model set (LacoModels): the
+// scheme, both network configurations, all parameters, and the feature
+// normalization — one directory, reload-and-run. Used by the examples so
+// training and placement can live in different processes.
+#pragma once
+
+#include <string>
+
+#include "laco/congestion_penalty.hpp"
+
+namespace laco {
+
+/// Writes <dir>/manifest.txt, congestion.bin, lookahead.bin (when
+/// applicable), scale_hi.txt, scale_lo.txt. Creates the directory.
+/// Returns false on I/O failure.
+bool save_models(const LacoModels& models, const std::string& dir);
+
+/// Rebuilds models from a directory written by save_models; throws
+/// std::runtime_error on missing/corrupt files.
+LacoModels load_models(const std::string& dir);
+
+}  // namespace laco

@@ -1,0 +1,87 @@
+// The experiment pipeline — data collection, per-scheme model training,
+// and prediction-quality evaluation. Benches and examples drive their
+// experiments through this so the paper's protocol lives in one place:
+//   * traces: placements of ISPD-2015 analogs with seed jitter, labeled
+//     by the global router (Sec. IV-A);
+//   * g trained self-supervised on snapshot sequences (Sec. III-C);
+//   * f trained on look-ahead-predicted inputs (look-ahead schemes) or
+//     end-of-placement features (DREAM-Cong) with routed labels;
+//   * NRMS/SSIM evaluation of mid-placement congestion prediction
+//     against the final routed congestion (Figs. 6 and 7).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "laco/congestion_penalty.hpp"
+#include "metrics/nrms.hpp"
+#include "metrics/ssim.hpp"
+#include "train/congestion_trainer.hpp"
+#include "train/lookahead_trainer.hpp"
+
+namespace laco {
+
+struct PipelineConfig {
+  double scale = 0.01;       ///< design scale factor vs the paper's sizes
+  int runs_per_design = 2;   ///< placement solutions per design
+  TraceCollectionConfig trace;
+  LookAheadConfig lookahead_model;        ///< channels/with_vae overridden per scheme
+  CongestionFcnConfig congestion_model;   ///< in_channels overridden per scheme
+  LookAheadTrainerConfig lookahead_trainer;
+  CongestionTrainerConfig congestion_trainer;
+};
+
+/// Sensible defaults for CPU-scale experiments (64×64 congestion grid,
+/// 32×32 look-ahead grid, K and C from the paper scaled to short runs).
+PipelineConfig default_pipeline_config();
+
+struct PredictionQuality {
+  double nrms = 0.0;
+  double ssim = 0.0;
+  int samples = 0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config) : config_(std::move(config)) {}
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Collects (and caches in memory) traces for the named designs. With
+  /// a cache directory set, traces are additionally persisted to disk
+  /// and reloaded across processes (keyed by design set + collection
+  /// parameters).
+  const std::vector<PlacementTrace>& traces_for(const std::vector<std::string>& names);
+
+  /// Enables the on-disk trace cache (empty string disables).
+  void set_trace_cache_dir(std::string dir) { trace_cache_dir_ = std::move(dir); }
+
+  /// Trains f (and g where applicable) for `scheme` on `traces`.
+  LacoModels train_models(LacoScheme scheme, const std::vector<PlacementTrace>& traces);
+
+  /// Scheme-appropriate congestion-model training samples.
+  std::vector<CongestionSample> build_f_samples(LacoScheme scheme, const LacoModels& models,
+                                                const std::vector<PlacementTrace>& traces) const;
+
+  /// Mid-placement congestion prediction vs final routed congestion.
+  PredictionQuality evaluate_prediction(const LacoModels& models,
+                                        const std::vector<PlacementTrace>& traces) const;
+  /// Per-design breakdown of the same evaluation.
+  std::map<std::string, PredictionQuality> evaluate_prediction_per_design(
+      const LacoModels& models, const std::vector<PlacementTrace>& traces) const;
+
+  /// Penalty config consistent with this pipeline's trace settings.
+  PenaltyConfig penalty_config() const;
+
+ private:
+  /// f input tensor for one snapshot window ending at index t.
+  nn::Tensor assemble_f_input(const LacoModels& models, const PlacementTrace& trace,
+                              std::size_t t) const;
+
+  PipelineConfig config_;
+  std::map<std::string, std::vector<PlacementTrace>> trace_cache_;
+  std::string trace_cache_dir_;
+};
+
+}  // namespace laco

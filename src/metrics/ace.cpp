@@ -1,0 +1,28 @@
+#include "metrics/ace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace laco {
+
+double ace(const GridMap& congestion, double top_fraction) {
+  if (!(top_fraction > 0.0) || top_fraction > 1.0) {
+    throw std::invalid_argument("ace: top_fraction must be in (0, 1]");
+  }
+  std::vector<double> values = congestion.data();
+  if (values.empty()) return 0.0;
+  const std::size_t count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(top_fraction * values.size()));
+  std::partial_sort(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(count),
+                    values.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) sum += values[i];
+  return sum / static_cast<double>(count);
+}
+
+AceProfile ace_profile(const GridMap& congestion) {
+  return {ace(congestion, 0.005), ace(congestion, 0.01), ace(congestion, 0.02),
+          ace(congestion, 0.05)};
+}
+
+}  // namespace laco

@@ -1,0 +1,27 @@
+// ACE — Average Congestion of the top-x% most congested routing edges
+// (Wei et al., "GLARE", DAC'12; the standard contest routability
+// metric). Complements WCS (a max statistic) with tail averages that are
+// less sensitive to a single outlier gcell.
+#pragma once
+
+#include <vector>
+
+#include "gridmap/grid_map.hpp"
+
+namespace laco {
+
+/// ACE(x): mean of the top x-fraction of values (0 < x ≤ 1) of a
+/// congestion/utilization map.
+double ace(const GridMap& congestion, double top_fraction);
+
+/// The customary profile ACE(0.5%), ACE(1%), ACE(2%), ACE(5%).
+struct AceProfile {
+  double ace_05 = 0.0;
+  double ace_1 = 0.0;
+  double ace_2 = 0.0;
+  double ace_5 = 0.0;
+};
+
+AceProfile ace_profile(const GridMap& congestion);
+
+}  // namespace laco

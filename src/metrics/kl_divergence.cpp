@@ -1,0 +1,37 @@
+#include "metrics/kl_divergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace laco {
+
+double kl_divergence(const GridMap& p, const GridMap& q, double eps) {
+  if (p.nx() != q.nx() || p.ny() != q.ny()) {
+    throw std::invalid_argument("kl_divergence: shape mismatch");
+  }
+  const std::size_t n = p.size();
+  double sum_p = 0.0, sum_q = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_p += std::max(0.0, p[i]) + eps;
+    sum_q += std::max(0.0, q[i]) + eps;
+  }
+  double kl = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pi = (std::max(0.0, p[i]) + eps) / sum_p;
+    const double qi = (std::max(0.0, q[i]) + eps) / sum_q;
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+GridMap cell_location_histogram(const Design& design, int nx, int ny) {
+  GridMap hist(nx, ny, design.core(), 0.0);
+  for (const CellId cid : design.movable_cells()) {
+    const GridIndex b = hist.bin_of(design.cell(cid).center());
+    hist.at(b.k, b.l) += 1.0;
+  }
+  return hist;
+}
+
+}  // namespace laco

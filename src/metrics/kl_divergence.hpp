@@ -1,0 +1,20 @@
+// Histogram KL divergence between spatial distributions — the Fig. 1(c)
+// measurement: KL(p_i ‖ p_final) where p is the normalized distribution
+// of RUDY, PinRUDY, or cell locations over the grid.
+#pragma once
+
+#include <vector>
+
+#include "gridmap/grid_map.hpp"
+#include "netlist/design.hpp"
+
+namespace laco {
+
+/// KL(p ‖ q) where p and q are the maps normalized to probability
+/// distributions (non-negative entries, eps-smoothed).
+double kl_divergence(const GridMap& p, const GridMap& q, double eps = 1e-9);
+
+/// Cell-location occupancy histogram: movable-cell count per bin.
+GridMap cell_location_histogram(const Design& design, int nx, int ny);
+
+}  // namespace laco

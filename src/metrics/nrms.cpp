@@ -1,0 +1,22 @@
+#include "metrics/nrms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace laco {
+
+double nrms(const GridMap& prediction, const GridMap& truth) {
+  if (prediction.nx() != truth.nx() || prediction.ny() != truth.ny()) {
+    throw std::invalid_argument("nrms: shape mismatch");
+  }
+  double se = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = prediction[i] - truth[i];
+    se += d * d;
+  }
+  const double range = truth.max() - truth.min();
+  if (range <= 1e-12) return std::sqrt(se / truth.size()) > 1e-12 ? 1.0 : 0.0;
+  return std::sqrt(se) / (range * std::sqrt(static_cast<double>(truth.size())));
+}
+
+}  // namespace laco

@@ -1,0 +1,14 @@
+// Normalized root-mean-square error, paper Eq. (19):
+//   NRMS(Ŷ, Y) = ‖Ŷ − Y‖₂ / ((Y_max − Y_min)·√N_Y)
+// the congestion-prediction accuracy metric of the ablation studies.
+#pragma once
+
+#include "gridmap/grid_map.hpp"
+
+namespace laco {
+
+/// NRMS of prediction vs ground truth; normalization uses the ground
+/// truth's value range (returns 0 for a perfectly flat, matched truth).
+double nrms(const GridMap& prediction, const GridMap& truth);
+
+}  // namespace laco

@@ -1,0 +1,29 @@
+#include "metrics/ssim.hpp"
+
+#include <stdexcept>
+
+namespace laco {
+
+double ssim(const GridMap& prediction, const GridMap& truth, const SsimConstants& c) {
+  if (prediction.nx() != truth.nx() || prediction.ny() != truth.ny()) {
+    throw std::invalid_argument("ssim: shape mismatch");
+  }
+  const std::size_t n = truth.size();
+  const double mu_p = prediction.mean();
+  const double mu_t = truth.mean();
+  double var_p = 0.0, var_t = 0.0, cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dp = prediction[i] - mu_p;
+    const double dt = truth[i] - mu_t;
+    var_p += dp * dp;
+    var_t += dt * dt;
+    cov += dp * dt;
+  }
+  var_p /= n;
+  var_t /= n;
+  cov /= n;
+  return ((2.0 * mu_t * mu_p + c.c1) * (2.0 * cov + c.c2)) /
+         ((mu_t * mu_t + mu_p * mu_p + c.c1) * (var_t + var_p + c.c2));
+}
+
+}  // namespace laco

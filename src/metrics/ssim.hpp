@@ -1,0 +1,18 @@
+// Structural similarity, paper Eq. (20) — global-statistics form over
+// the whole congestion map:
+//   SSIM = (2 μY μŶ + C1)(2 σ_{Y,Ŷ} + C2) /
+//          ((μY² + μŶ² + C1)(σY² + σŶ² + C2))
+#pragma once
+
+#include "gridmap/grid_map.hpp"
+
+namespace laco {
+
+struct SsimConstants {
+  double c1 = 1e-4;
+  double c2 = 9e-4;
+};
+
+double ssim(const GridMap& prediction, const GridMap& truth, const SsimConstants& c = {});
+
+}  // namespace laco

@@ -1,0 +1,38 @@
+#include "models/congestion_fcn.hpp"
+
+namespace laco {
+
+CongestionFcn::CongestionFcn(CongestionFcnConfig config)
+    : config_(config),
+      // Five convolutions: two strided stages squeeze spatial context,
+      // mirroring the encoder of [22]'s FCN.
+      conv1_(config.in_channels, config.base_width, 3, 1),
+      conv2_(config.base_width, config.base_width, 3, 2, 1),
+      conv3_(config.base_width, config.base_width * 2, 3, 2, 1),
+      conv4_(config.base_width * 2, config.base_width * 2, 3, 1),
+      conv5_(config.base_width * 2, config.base_width * 2, 3, 1),
+      // Two deconvolutions restore input resolution.
+      deconv1_(config.base_width * 2, config.base_width, 4, 2, 1),
+      deconv2_(config.base_width, 1, 4, 2, 1) {
+  register_module("conv1", &conv1_);
+  register_module("conv2", &conv2_);
+  register_module("conv3", &conv3_);
+  register_module("conv4", &conv4_);
+  register_module("conv5", &conv5_);
+  register_module("deconv1", &deconv1_);
+  register_module("deconv2", &deconv2_);
+}
+
+nn::Tensor CongestionFcn::forward(const nn::Tensor& x) const {
+  const float s = config_.leaky_slope;
+  nn::Tensor h = nn::leaky_relu(conv1_.forward(x), s);
+  h = nn::leaky_relu(conv2_.forward(h), s);
+  h = nn::leaky_relu(conv3_.forward(h), s);
+  h = nn::leaky_relu(conv4_.forward(h), s);
+  h = nn::leaky_relu(conv5_.forward(h), s);
+  h = nn::leaky_relu(deconv1_.forward(h), s);
+  // Final layer is linear: congestion overflow ratios are unbounded above.
+  return deconv2_.forward(h);
+}
+
+}  // namespace laco

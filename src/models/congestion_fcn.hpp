@@ -1,0 +1,35 @@
+// The congestion prediction model f (paper Sec. III-E): following
+// DREAM-Cong [Liu et al., DATE'21], a fully-convolutional network with
+// five convolution and two deconvolution layers. Input is the feature
+// stack (3 channels for DREAM-Cong: RUDY, PinRUDY, MacroRegion; 5+ for
+// LACO variants that add cell flow and the X_i shortcut), output is a
+// 1-channel congestion hotspot map at input resolution.
+#pragma once
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace laco {
+
+struct CongestionFcnConfig {
+  int in_channels = 3;
+  int base_width = 16;  ///< paper-scale would use 32+; CPU default is 16
+  float leaky_slope = 0.1f;
+};
+
+class CongestionFcn : public nn::Module {
+ public:
+  explicit CongestionFcn(CongestionFcnConfig config);
+
+  /// [N, Cin, H, W] → [N, 1, H, W]; H and W must be divisible by 4.
+  nn::Tensor forward(const nn::Tensor& x) const;
+
+  const CongestionFcnConfig& config() const { return config_; }
+
+ private:
+  CongestionFcnConfig config_;
+  nn::Conv2d conv1_, conv2_, conv3_, conv4_, conv5_;
+  nn::ConvTranspose2d deconv1_, deconv2_;
+};
+
+}  // namespace laco

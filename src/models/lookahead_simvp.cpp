@@ -1,0 +1,84 @@
+#include "models/lookahead_simvp.hpp"
+
+#include "nn/ops.hpp"
+
+namespace laco {
+
+InceptionBlock::InceptionBlock(int channels, int groups, float leaky_slope)
+    : slope_(leaky_slope),
+      bottleneck_(channels, channels, 1, 1, 0),
+      branch3_(channels, channels, 3, 1, -1, groups),
+      branch5_(channels, channels, 5, 1, -1, groups),
+      branch7_(channels, channels, 7, 1, -1, groups),
+      fuse_(channels * 3, channels, 1, 1, 0) {
+  register_module("bottleneck", &bottleneck_);
+  register_module("branch3", &branch3_);
+  register_module("branch5", &branch5_);
+  register_module("branch7", &branch7_);
+  register_module("fuse", &fuse_);
+}
+
+nn::Tensor InceptionBlock::forward(const nn::Tensor& x) const {
+  nn::Tensor b = nn::leaky_relu(bottleneck_.forward(x), slope_);
+  nn::Tensor p3 = nn::leaky_relu(branch3_.forward(b), slope_);
+  nn::Tensor p5 = nn::leaky_relu(branch5_.forward(b), slope_);
+  nn::Tensor p7 = nn::leaky_relu(branch7_.forward(b), slope_);
+  nn::Tensor fused = fuse_.forward(nn::cat_channels({p3, p5, p7}));
+  // Residual connection keeps the middle net stable at depth.
+  return nn::add(fused, x);
+}
+
+LookAheadModel::LookAheadModel(LookAheadConfig config)
+    : config_(config),
+      enc1_(config.frames * config.channels_per_frame, config.base_width, 3, 1),
+      gn1_(config.groups, config.base_width),
+      enc2_(config.base_width, config.base_width * 2, 3, 2, 1),
+      gn2_(config.groups, config.base_width * 2),
+      enc3_(config.base_width * 2, config.base_width * 2, 3, 2, 1),
+      gn3_(config.groups, config.base_width * 2),
+      dec1_(config.base_width * 2, config.base_width * 2, 4, 2, 1),
+      gn4_(config.groups, config.base_width * 2),
+      dec2_(config.base_width * 2, config.base_width, 4, 2, 1),
+      gn5_(config.groups, config.base_width),
+      head_(config.base_width, config.channels_per_frame, 3, 1) {
+  register_module("enc1", &enc1_);
+  register_module("gn1", &gn1_);
+  register_module("enc2", &enc2_);
+  register_module("gn2", &gn2_);
+  register_module("enc3", &enc3_);
+  register_module("gn3", &gn3_);
+  for (int i = 0; i < config.inception_blocks; ++i) {
+    middle_.push_back(std::make_unique<InceptionBlock>(config.base_width * 2, config.groups,
+                                                       config.leaky_slope));
+    register_module("inception" + std::to_string(i), middle_.back().get());
+  }
+  register_module("dec1", &dec1_);
+  register_module("gn4", &gn4_);
+  register_module("dec2", &dec2_);
+  register_module("gn5", &gn5_);
+  register_module("head", &head_);
+  if (config.with_vae) {
+    VaeBranchConfig vc;
+    vc.latent_channels = config.base_width * 2;
+    vc.z_channels = std::max(2, config.base_width / 2);
+    vc.leaky_slope = config.leaky_slope;
+    vae_ = std::make_unique<VaeBranch>(vc);
+    register_module("vae", vae_.get());
+  }
+}
+
+LookAheadModel::Output LookAheadModel::forward(const nn::Tensor& frames) const {
+  const float s = config_.leaky_slope;
+  nn::Tensor h = nn::leaky_relu(gn1_.forward(enc1_.forward(frames)), s);
+  h = nn::leaky_relu(gn2_.forward(enc2_.forward(h)), s);
+  h = nn::leaky_relu(gn3_.forward(enc3_.forward(h)), s);
+  Output out;
+  out.latent = h;
+  for (const auto& block : middle_) h = block->forward(h);
+  h = nn::leaky_relu(gn4_.forward(dec1_.forward(h)), s);
+  h = nn::leaky_relu(gn5_.forward(dec2_.forward(h)), s);
+  out.prediction = head_.forward(h);
+  return out;
+}
+
+}  // namespace laco

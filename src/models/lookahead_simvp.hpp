@@ -1,0 +1,86 @@
+// The look-ahead model g (paper Sec. III-C), adapted from SimVP
+// [Gao et al., CVPR'22]: given C stacked feature frames
+// {X_{i-(C-1)K}, ..., X_i} it predicts the frame K iterations ahead,
+// X̄_{i+K} (paper Eq. 11).
+//
+// Structure: an encoder of [conv, GroupNorm, LeakyReLU] blocks (two of
+// them strided), a middle net of SimVP Inception modules (1×1 bottleneck
+// followed by parallel group convolutions with different kernel sizes),
+// and a decoder of [deconv, GroupNorm, LeakyReLU] blocks. A VAE-like
+// branch can be attached to the encoder latent during training to learn
+// an invariant feature space (Sec. III-D).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/vae_branch.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace laco {
+
+struct LookAheadConfig {
+  int frames = 4;              ///< C, input history length (paper: 4)
+  int channels_per_frame = 5;  ///< RUDY, PinRUDY, MacroRegion, flow x/y
+  int base_width = 16;         ///< hidden width (paper-scale: 64)
+  int inception_blocks = 2;    ///< middle-net depth
+  int groups = 4;              ///< group conv / GroupNorm groups
+  float leaky_slope = 0.1f;
+  bool with_vae = true;        ///< attach the invariant-space branch
+};
+
+/// One SimVP Inception module: 1×1 bottleneck then parallel group convs
+/// with kernel sizes {3, 5, 7}, concatenated and fused by a 1×1 conv.
+class InceptionBlock : public nn::Module {
+ public:
+  InceptionBlock(int channels, int groups, float leaky_slope);
+  nn::Tensor forward(const nn::Tensor& x) const;
+
+ private:
+  float slope_;
+  nn::Conv2d bottleneck_;
+  nn::Conv2d branch3_;
+  nn::Conv2d branch5_;
+  nn::Conv2d branch7_;
+  nn::Conv2d fuse_;
+};
+
+class LookAheadModel : public nn::Module {
+ public:
+  explicit LookAheadModel(LookAheadConfig config);
+
+  struct Output {
+    nn::Tensor prediction;  ///< X̄_{i+K}: [N, channels_per_frame, H, W]
+    nn::Tensor latent;      ///< encoder output (VAE branch input)
+  };
+
+  /// frames: [N, C·channels_per_frame, H, W], H and W divisible by 4.
+  Output forward(const nn::Tensor& frames) const;
+
+  /// The VAE branch; only valid when config.with_vae.
+  const VaeBranch& vae() const { return *vae_; }
+  bool has_vae() const { return vae_ != nullptr; }
+
+  const LookAheadConfig& config() const { return config_; }
+
+ private:
+  LookAheadConfig config_;
+  // Encoder: stem + two strided stages.
+  nn::Conv2d enc1_;
+  nn::GroupNorm gn1_;
+  nn::Conv2d enc2_;
+  nn::GroupNorm gn2_;
+  nn::Conv2d enc3_;
+  nn::GroupNorm gn3_;
+  std::vector<std::unique_ptr<InceptionBlock>> middle_;
+  // Decoder: two up stages + head.
+  nn::ConvTranspose2d dec1_;
+  nn::GroupNorm gn4_;
+  nn::ConvTranspose2d dec2_;
+  nn::GroupNorm gn5_;
+  nn::Conv2d head_;
+  std::unique_ptr<VaeBranch> vae_;
+};
+
+}  // namespace laco

@@ -1,0 +1,46 @@
+// Glue between the feature world (GridMap / FeatureFrame) and the
+// tensor world (nn::Tensor, NCHW with H=ny rows, W=nx columns), plus the
+// per-channel linear normalization applied before the networks.
+//
+// Normalization is *multiplicative only* so the gradient chain from the
+// congestion penalty back to cell coordinates (paper Sec. III-E) just
+// scales: dL/dfeature = scale · dL/dtensor_entry.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "features/feature_stack.hpp"
+#include "gridmap/grid_map.hpp"
+#include "nn/tensor.hpp"
+
+namespace laco {
+
+/// Per-channel multiplicative scale for the 5 feature channels.
+struct FeatureScale {
+  std::array<float, FeatureFrame::kNumChannels> scale{1.0f, 1.0f, 1.0f, 1.0f, 1.0f};
+
+  bool save(const std::string& path) const;
+  static FeatureScale load(const std::string& path);
+};
+
+/// Derives scales that map each channel's observed 99th-percentile
+/// magnitude to 1.0 across the given frames (robust to hotspots).
+FeatureScale compute_feature_scale(const std::vector<const FeatureFrame*>& frames);
+
+/// [1, 1, H, W] tensor from a map.
+nn::Tensor gridmap_to_tensor(const GridMap& map);
+/// Extracts (batch, channel) of an NCHW tensor into a map over `region`.
+GridMap tensor_to_gridmap(const nn::Tensor& t, int batch, int channel, const Rect& region);
+
+/// [1, nc, H, W] tensor of one frame's first `channels` channels (3 =
+/// RUDY/PinRUDY/MacroRegion, 5 adds the flow pair), scaled.
+nn::Tensor frame_to_tensor(const FeatureFrame& frame, const FeatureScale& scale,
+                           int channels = FeatureFrame::kNumChannels);
+/// [1, nc·C, H, W] stack of C frames, oldest first (the look-ahead input).
+nn::Tensor frames_to_tensor(const std::vector<const FeatureFrame*>& frames,
+                            const FeatureScale& scale,
+                            int channels = FeatureFrame::kNumChannels);
+
+}  // namespace laco

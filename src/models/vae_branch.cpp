@@ -1,0 +1,51 @@
+#include "models/vae_branch.hpp"
+
+#include <random>
+
+#include "nn/ops.hpp"
+
+namespace laco {
+
+VaeBranch::VaeBranch(VaeBranchConfig config)
+    : config_(config),
+      enc_(config.latent_channels, config.latent_channels, 3, 1),
+      mu_head_(config.latent_channels, config.z_channels, 1, 1, 0),
+      logvar_head_(config.latent_channels, config.z_channels, 1, 1, 0),
+      dec1_(config.z_channels, config.latent_channels, 3, 1),
+      dec2_(config.latent_channels, config.latent_channels, 3, 1) {
+  register_module("enc", &enc_);
+  register_module("mu_head", &mu_head_);
+  register_module("logvar_head", &logvar_head_);
+  register_module("dec1", &dec1_);
+  register_module("dec2", &dec2_);
+}
+
+VaeBranch::Output VaeBranch::forward(const nn::Tensor& latent, unsigned seed) const {
+  const float s = config_.leaky_slope;
+  nn::Tensor h = nn::leaky_relu(enc_.forward(latent), s);
+  Output out;
+  out.mu = mu_head_.forward(h);
+  out.logvar = logvar_head_.forward(h);
+
+  // Reparameterization: z = mu + eps * exp(logvar / 2), eps ~ N(0, I).
+  nn::Tensor eps = nn::Tensor::zeros(out.mu.shape());
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (float& v : eps.data()) v = dist(rng);
+  nn::Tensor z = nn::add(out.mu, nn::mul(eps, nn::exp_op(nn::scale(out.logvar, 0.5f))));
+
+  nn::Tensor d = nn::leaky_relu(dec1_.forward(z), s);
+  out.reconstruction = dec2_.forward(d);
+  return out;
+}
+
+nn::Tensor VaeBranch::loss(const Output& out, const nn::Tensor& latent, float kl_weight,
+                           float recon_weight) const {
+  // Normalize KL by element count so the weight is resolution-invariant.
+  nn::Tensor kl = nn::scale(nn::vae_kl_loss(out.mu, out.logvar),
+                            1.0f / static_cast<float>(out.mu.numel() / out.mu.dim(0)));
+  nn::Tensor recon = nn::mse_loss(out.reconstruction, latent);
+  return nn::add(nn::scale(kl, kl_weight), nn::scale(recon, recon_weight));
+}
+
+}  // namespace laco

@@ -1,0 +1,48 @@
+// The VAE-like invariant-feature-space branch (paper Sec. III-D).
+// Attached to the look-ahead encoder's latent feature map during
+// training only: two conv heads produce mu and log-variance maps, a
+// reparameterized sample is decoded back, and the branch contributes
+//   KL(N(mu, Sigma) || N(0, I))        (paper Eq. 16)
+//   MSE(reconstruction, latent)         (reconstruction loss)
+// to the multi-task objective. At inference the branch is skipped, so it
+// adds no runtime overhead (paper Sec. III-D, last paragraph).
+#pragma once
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace laco {
+
+struct VaeBranchConfig {
+  int latent_channels = 32;
+  int z_channels = 8;
+  float leaky_slope = 0.1f;
+};
+
+class VaeBranch : public nn::Module {
+ public:
+  explicit VaeBranch(VaeBranchConfig config);
+
+  struct Output {
+    nn::Tensor mu;              ///< [N, z, h, w]
+    nn::Tensor logvar;          ///< [N, z, h, w]
+    nn::Tensor reconstruction;  ///< [N, latent, h, w]
+  };
+
+  /// Encodes, reparameterizes with noise from `seed`, decodes.
+  Output forward(const nn::Tensor& latent, unsigned seed) const;
+
+  /// Combined branch loss: kl_weight · KL + recon_weight · MSE.
+  nn::Tensor loss(const Output& out, const nn::Tensor& latent, float kl_weight,
+                  float recon_weight) const;
+
+ private:
+  VaeBranchConfig config_;
+  nn::Conv2d enc_;
+  nn::Conv2d mu_head_;
+  nn::Conv2d logvar_head_;
+  nn::Conv2d dec1_;
+  nn::Conv2d dec2_;
+};
+
+}  // namespace laco

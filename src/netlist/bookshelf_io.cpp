@@ -1,0 +1,136 @@
+#include "netlist/bookshelf_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace laco {
+namespace {
+
+const char* kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kStandard: return "std";
+    case CellKind::kMacro: return "macro";
+    case CellKind::kPad: return "pad";
+  }
+  return "std";
+}
+
+CellKind parse_kind(const std::string& word) {
+  if (word == "std") return CellKind::kStandard;
+  if (word == "macro") return CellKind::kMacro;
+  if (word == "pad") return CellKind::kPad;
+  throw std::runtime_error("bookshelf: unknown cell kind '" + word + "'");
+}
+
+}  // namespace
+
+void write_bookshelf(const Design& design, std::ostream& out) {
+  out << std::setprecision(17);  // round-trip exact for IEEE doubles
+  out << "# laco bookshelf v1\n";
+  out << "DESIGN " << (design.name().empty() ? "unnamed" : design.name()) << '\n';
+  const Rect& c = design.core();
+  out << "CORE " << c.xl << ' ' << c.yl << ' ' << c.xh << ' ' << c.yh << ' '
+      << design.row_height() << '\n';
+  for (const Cell& cell : design.cells()) {
+    out << "CELL " << cell.name << ' ' << kind_name(cell.kind) << ' ' << cell.width << ' '
+        << cell.height << ' ' << cell.x << ' ' << cell.y << ' ' << (cell.fixed ? 1 : 0) << '\n';
+  }
+  for (const Net& net : design.nets()) {
+    out << "NET " << net.name << ' ' << net.weight << '\n';
+    for (const PinId pid : net.pins) {
+      const Pin& pin = design.pin(pid);
+      out << "PIN " << pin.cell << ' ' << pin.offset_x << ' ' << pin.offset_y << '\n';
+    }
+  }
+  for (const Fence& fence : design.fences()) {
+    out << "FENCE " << fence.name << ' ' << fence.region.xl << ' ' << fence.region.yl << ' '
+        << fence.region.xh << ' ' << fence.region.yh;
+    for (const CellId member : fence.members) out << ' ' << member;
+    out << '\n';
+  }
+  for (const Rect& b : design.routing_blockages()) {
+    out << "BLOCKAGE " << b.xl << ' ' << b.yl << ' ' << b.xh << ' ' << b.yh << '\n';
+  }
+}
+
+bool write_bookshelf_file(const Design& design, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_bookshelf(design, out);
+  return static_cast<bool>(out);
+}
+
+Design read_bookshelf(std::istream& in) {
+  std::string line;
+  std::string design_name = "unnamed";
+  Design design;
+  bool have_core = false;
+  NetId current_net = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "DESIGN") {
+      ls >> design_name;
+    } else if (tag == "CORE") {
+      Rect core;
+      double row_height = 1.0;
+      ls >> core.xl >> core.yl >> core.xh >> core.yh >> row_height;
+      if (!ls) throw std::runtime_error("bookshelf: malformed CORE line");
+      design = Design(design_name, core, row_height);
+      have_core = true;
+    } else if (tag == "CELL") {
+      if (!have_core) throw std::runtime_error("bookshelf: CELL before CORE");
+      Cell cell;
+      std::string kind_word;
+      int fixed = 0;
+      ls >> cell.name >> kind_word >> cell.width >> cell.height >> cell.x >> cell.y >> fixed;
+      if (!ls) throw std::runtime_error("bookshelf: malformed CELL line");
+      cell.kind = parse_kind(kind_word);
+      cell.fixed = fixed != 0;
+      design.add_cell(std::move(cell));
+    } else if (tag == "NET") {
+      if (!have_core) throw std::runtime_error("bookshelf: NET before CORE");
+      std::string net_name;
+      double weight = 1.0;
+      ls >> net_name >> weight;
+      if (net_name.empty()) throw std::runtime_error("bookshelf: malformed NET line");
+      current_net = design.add_net(net_name, weight);
+    } else if (tag == "PIN") {
+      if (current_net < 0) throw std::runtime_error("bookshelf: PIN before NET");
+      CellId cell = kNoCell;
+      double ox = 0.0, oy = 0.0;
+      ls >> cell >> ox >> oy;
+      if (!ls) throw std::runtime_error("bookshelf: malformed PIN line");
+      design.add_pin(cell, current_net, ox, oy);
+    } else if (tag == "FENCE") {
+      std::string fence_name;
+      Rect region;
+      ls >> fence_name >> region.xl >> region.yl >> region.xh >> region.yh;
+      if (!ls) throw std::runtime_error("bookshelf: malformed FENCE line");
+      const FenceId fid = design.add_fence(fence_name, region);
+      CellId member;
+      while (ls >> member) design.assign_to_fence(member, fid);
+    } else if (tag == "BLOCKAGE") {
+      Rect region;
+      ls >> region.xl >> region.yl >> region.xh >> region.yh;
+      if (!ls) throw std::runtime_error("bookshelf: malformed BLOCKAGE line");
+      design.add_routing_blockage(region);
+    } else {
+      throw std::runtime_error("bookshelf: unknown tag '" + tag + "'");
+    }
+  }
+  if (!have_core) throw std::runtime_error("bookshelf: missing CORE");
+  return design;
+}
+
+Design read_bookshelf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bookshelf: cannot open '" + path + "'");
+  return read_bookshelf(in);
+}
+
+}  // namespace laco

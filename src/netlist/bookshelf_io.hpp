@@ -1,0 +1,27 @@
+// Plain-text design serialization in a Bookshelf-inspired single-file
+// format (.lbk — "laco bookshelf"). Lets users persist generated
+// analogs, exchange placements between tools, and diff runs. Format:
+//
+//   CORE xl yl xh yh row_height
+//   CELL name kind width height x y fixed
+//   NET name weight
+//   PIN cell_index offset_x offset_y        (attaches to the latest NET)
+//
+// kind is one of std|macro|pad; indices refer to CELL declaration order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace laco {
+
+void write_bookshelf(const Design& design, std::ostream& out);
+bool write_bookshelf_file(const Design& design, const std::string& path);
+
+/// Parses a design; throws std::runtime_error on malformed input.
+Design read_bookshelf(std::istream& in);
+Design read_bookshelf_file(const std::string& path);
+
+}  // namespace laco

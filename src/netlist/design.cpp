@@ -1,0 +1,144 @@
+#include "netlist/design.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace laco {
+
+CellId Design::add_cell(Cell cell) {
+  const CellId id = static_cast<CellId>(cells_.size());
+  if (!cell.fixed) movable_.push_back(id);
+  cells_.push_back(std::move(cell));
+  cell_fence_.push_back(kNoFence);
+  return id;
+}
+
+FenceId Design::add_fence(std::string fence_name, Rect region) {
+  if (!region.valid() || region.area() <= 0.0) {
+    throw std::invalid_argument("add_fence: degenerate region");
+  }
+  const FenceId id = static_cast<FenceId>(fences_.size());
+  Fence fence;
+  fence.name = std::move(fence_name);
+  fence.region = region;
+  fences_.push_back(std::move(fence));
+  return id;
+}
+
+void Design::assign_to_fence(CellId cell_id, FenceId fence_id) {
+  if (cell_id < 0 || static_cast<std::size_t>(cell_id) >= cells_.size()) {
+    throw std::out_of_range("assign_to_fence: bad cell id");
+  }
+  if (fence_id < 0 || static_cast<std::size_t>(fence_id) >= fences_.size()) {
+    throw std::out_of_range("assign_to_fence: bad fence id");
+  }
+  if (cells_[static_cast<std::size_t>(cell_id)].fixed) {
+    throw std::invalid_argument("assign_to_fence: fixed cells cannot be fenced");
+  }
+  FenceId& slot = cell_fence_[static_cast<std::size_t>(cell_id)];
+  if (slot != kNoFence) throw std::invalid_argument("assign_to_fence: cell already fenced");
+  slot = fence_id;
+  fences_[static_cast<std::size_t>(fence_id)].members.push_back(cell_id);
+}
+
+FenceId Design::fence_of(CellId cell_id) const {
+  return cell_fence_[static_cast<std::size_t>(cell_id)];
+}
+
+NetId Design::add_net(std::string net_name, double weight) {
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = std::move(net_name);
+  n.weight = weight;
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+PinId Design::add_pin(CellId cell_id, NetId net_id, double offset_x, double offset_y) {
+  if (cell_id < 0 || static_cast<std::size_t>(cell_id) >= cells_.size()) {
+    throw std::out_of_range("add_pin: bad cell id");
+  }
+  if (net_id < 0 || static_cast<std::size_t>(net_id) >= nets_.size()) {
+    throw std::out_of_range("add_pin: bad net id");
+  }
+  const PinId id = static_cast<PinId>(pins_.size());
+  pins_.push_back(Pin{cell_id, net_id, offset_x, offset_y});
+  nets_[static_cast<std::size_t>(net_id)].pins.push_back(id);
+  return id;
+}
+
+double Design::total_movable_area() const {
+  double a = 0.0;
+  for (const CellId id : movable_) a += cells_[static_cast<std::size_t>(id)].area();
+  return a;
+}
+
+double Design::total_fixed_area() const {
+  double a = 0.0;
+  for (const Cell& c : cells_) {
+    if (c.fixed && c.kind == CellKind::kMacro) a += overlap_area(c.rect(), core_);
+  }
+  return a;
+}
+
+double Design::utilization() const {
+  const double free_area = core_.area() - total_fixed_area();
+  return free_area > 0.0 ? total_movable_area() / free_area : 1.0;
+}
+
+void Design::get_movable_positions(std::vector<double>& x, std::vector<double>& y) const {
+  x.resize(movable_.size());
+  y.resize(movable_.size());
+  for (std::size_t i = 0; i < movable_.size(); ++i) {
+    const Cell& c = cells_[static_cast<std::size_t>(movable_[i])];
+    const Point p = c.center();
+    x[i] = p.x;
+    y[i] = p.y;
+  }
+}
+
+void Design::set_movable_positions(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != movable_.size() || y.size() != movable_.size()) {
+    throw std::invalid_argument("set_movable_positions: size mismatch");
+  }
+  for (std::size_t i = 0; i < movable_.size(); ++i) {
+    const CellId cid = movable_[i];
+    Cell& c = cells_[static_cast<std::size_t>(cid)];
+    // Clamp the center into the core — or the cell's fence region, which
+    // acts as the effective placement domain for fenced cells.
+    Rect domain = core_;
+    const FenceId fence = cell_fence_[static_cast<std::size_t>(cid)];
+    if (fence != kNoFence) domain = fences_[static_cast<std::size_t>(fence)].region;
+    const double cx = std::clamp(x[i], domain.xl + c.width * 0.5, domain.xh - c.width * 0.5);
+    const double cy = std::clamp(y[i], domain.yl + c.height * 0.5, domain.yh - c.height * 0.5);
+    c.x = cx - c.width * 0.5;
+    c.y = cy - c.height * 0.5;
+  }
+}
+
+double Design::hpwl() const {
+  double total = 0.0;
+  for (const Net& net : nets_) {
+    if (net.degree() < 2) continue;
+    const Rect bb = net_bbox(*this, net);
+    total += net.weight * (bb.width() + bb.height());
+  }
+  return total;
+}
+
+Rect net_bbox(const Design& design, const Net& net) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  Rect bb{inf, inf, -inf, -inf};
+  for (const PinId pid : net.pins) {
+    const Point p = design.pin_position(pid);
+    bb.xl = std::min(bb.xl, p.x);
+    bb.yl = std::min(bb.yl, p.y);
+    bb.xh = std::max(bb.xh, p.x);
+    bb.yh = std::max(bb.yh, p.y);
+  }
+  if (net.pins.empty()) bb = Rect{0, 0, 0, 0};
+  return bb;
+}
+
+}  // namespace laco

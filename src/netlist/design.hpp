@@ -1,0 +1,151 @@
+// Circuit data model for placement and routing: cells, pins, nets, and
+// the die/core geometry. Mirrors the level of detail a Bookshelf/ISPD
+// benchmark carries — enough for global placement, legalization, global
+// routing, and the placement features the LACO paper consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace laco {
+
+using CellId = std::int32_t;
+using PinId = std::int32_t;
+using NetId = std::int32_t;
+inline constexpr CellId kNoCell = -1;
+
+enum class CellKind : std::uint8_t {
+  kStandard,  ///< movable standard cell
+  kMacro,     ///< fixed macro block (defines MacroRegion)
+  kPad,       ///< fixed I/O pad on the periphery
+};
+
+struct Cell {
+  std::string name;
+  CellKind kind = CellKind::kStandard;
+  double width = 0.0;
+  double height = 0.0;
+  double x = 0.0;  ///< lower-left corner
+  double y = 0.0;
+  bool fixed = false;
+
+  Rect rect() const { return {x, y, x + width, y + height}; }
+  Point center() const { return {x + width * 0.5, y + height * 0.5}; }
+  double area() const { return width * height; }
+};
+
+struct Pin {
+  CellId cell = kNoCell;  ///< owning cell; kNoCell only in malformed inputs
+  NetId net = -1;
+  double offset_x = 0.0;  ///< offset from the owning cell's lower-left corner
+  double offset_y = 0.0;
+};
+
+struct Net {
+  std::string name;
+  std::vector<PinId> pins;
+  double weight = 1.0;
+
+  int degree() const { return static_cast<int>(pins.size()); }
+};
+
+/// Fence region (ISPD 2015): an exclusive rectangular region that a set
+/// of member cells must be placed inside and non-members must stay out
+/// of. Simplified to a single rectangle per fence.
+struct Fence {
+  std::string name;
+  Rect region;
+  std::vector<CellId> members;
+};
+using FenceId = std::int32_t;
+inline constexpr FenceId kNoFence = -1;
+
+/// A placement/routing instance. Owns all cells, pins, and nets plus the
+/// core region geometry. Cell coordinates are the mutable placement
+/// state; everything else is immutable once construction finishes.
+class Design {
+ public:
+  Design() = default;
+  Design(std::string name, Rect core, double row_height)
+      : name_(std::move(name)), core_(core), row_height_(row_height) {}
+
+  const std::string& name() const { return name_; }
+  const Rect& core() const { return core_; }
+  double row_height() const { return row_height_; }
+
+  CellId add_cell(Cell cell);
+  NetId add_net(std::string net_name, double weight = 1.0);
+  /// Attaches a pin at (offset_x, offset_y) from `cell`'s origin to `net`.
+  PinId add_pin(CellId cell, NetId net, double offset_x, double offset_y);
+  /// Declares a fence region; membership is assigned via assign_to_fence.
+  FenceId add_fence(std::string fence_name, Rect region);
+  /// Puts a movable cell under a fence constraint (one fence per cell).
+  void assign_to_fence(CellId cell, FenceId fence);
+  /// Registers a routing blockage rectangle (derates router capacity).
+  void add_routing_blockage(Rect region) { routing_blockages_.push_back(region); }
+
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_pins() const { return pins_.size(); }
+  std::size_t num_movable() const { return movable_.size(); }
+
+  Cell& cell(CellId id) { return cells_[static_cast<std::size_t>(id)]; }
+  const Cell& cell(CellId id) const { return cells_[static_cast<std::size_t>(id)]; }
+  Net& net(NetId id) { return nets_[static_cast<std::size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+  const Pin& pin(PinId id) const { return pins_[static_cast<std::size_t>(id)]; }
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Pin>& pins() const { return pins_; }
+  /// Ids of movable (non-fixed) cells, in id order.
+  const std::vector<CellId>& movable_cells() const { return movable_; }
+
+  const std::vector<Fence>& fences() const { return fences_; }
+  /// Fence constraint of a cell, or kNoFence.
+  FenceId fence_of(CellId cell) const;
+  const std::vector<Rect>& routing_blockages() const { return routing_blockages_; }
+
+  /// Absolute layout position of a pin (cell origin + offset).
+  Point pin_position(PinId id) const {
+    const Pin& p = pins_[static_cast<std::size_t>(id)];
+    const Cell& c = cells_[static_cast<std::size_t>(p.cell)];
+    return {c.x + p.offset_x, c.y + p.offset_y};
+  }
+
+  double total_movable_area() const;
+  double total_fixed_area() const;  ///< macro area clipped to the core
+  /// Movable area / (core area − fixed area): the target density floor.
+  double utilization() const;
+
+  /// Gathers movable-cell center coordinates into x/y (placer interface).
+  void get_movable_positions(std::vector<double>& x, std::vector<double>& y) const;
+  /// Scatters movable-cell center coordinates back, clamping centers so
+  /// each cell stays inside the core region — and inside its fence
+  /// region when the cell carries a fence constraint.
+  void set_movable_positions(const std::vector<double>& x, const std::vector<double>& y);
+
+  /// Half-perimeter wirelength of the current placement.
+  double hpwl() const;
+
+ private:
+  std::string name_;
+  Rect core_{};
+  double row_height_ = 1.0;
+  std::vector<Cell> cells_;
+  std::vector<Pin> pins_;
+  std::vector<Net> nets_;
+  std::vector<CellId> movable_;
+  std::vector<Fence> fences_;
+  std::vector<FenceId> cell_fence_;  ///< CellId-indexed; kNoFence default
+  std::vector<Rect> routing_blockages_;
+};
+
+/// Bounding box of a net's pins; returns an empty/degenerate rect for
+/// nets with fewer than one pin.
+Rect net_bbox(const Design& design, const Net& net);
+
+}  // namespace laco

@@ -1,0 +1,46 @@
+#include "netlist/design_stats.hpp"
+
+#include <sstream>
+
+namespace laco {
+
+DesignStats compute_stats(const Design& design) {
+  DesignStats s;
+  s.num_cells = design.num_cells();
+  s.num_movable = design.num_movable();
+  s.num_nets = design.num_nets();
+  s.num_pins = design.num_pins();
+  for (const Cell& c : design.cells()) {
+    if (c.kind == CellKind::kMacro) ++s.num_macros;
+    if (c.kind == CellKind::kPad) ++s.num_pads;
+  }
+  double degree_sum = 0.0;
+  for (const Net& n : design.nets()) {
+    const int d = n.degree();
+    degree_sum += d;
+    s.max_net_degree = std::max(s.max_net_degree, d);
+    ++s.degree_histogram[d];
+  }
+  s.avg_net_degree = design.num_nets() ? degree_sum / design.num_nets() : 0.0;
+  s.utilization = design.utilization();
+  s.macro_area_fraction =
+      design.core().area() > 0.0 ? design.total_fixed_area() / design.core().area() : 0.0;
+  s.num_fences = design.fences().size();
+  for (const Fence& fence : design.fences()) s.num_fenced_cells += fence.members.size();
+  s.num_routing_blockages = design.routing_blockages().size();
+  return s;
+}
+
+std::string to_string(const DesignStats& s) {
+  std::ostringstream os;
+  os << "cells=" << s.num_cells << " (movable=" << s.num_movable
+     << ", macros=" << s.num_macros << ", pads=" << s.num_pads << ")"
+     << " nets=" << s.num_nets << " pins=" << s.num_pins
+     << " avg_degree=" << s.avg_net_degree << " max_degree=" << s.max_net_degree
+     << " util=" << s.utilization << " macro_frac=" << s.macro_area_fraction
+     << " fences=" << s.num_fences << " (cells=" << s.num_fenced_cells << ")"
+     << " blockages=" << s.num_routing_blockages;
+  return os.str();
+}
+
+}  // namespace laco

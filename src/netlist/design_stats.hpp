@@ -1,0 +1,35 @@
+// Summary statistics over a Design: used by tests (generator sanity),
+// the README tables, and the bench headers that echo Table I's
+// #Cells / #Nets columns.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace laco {
+
+struct DesignStats {
+  std::size_t num_cells = 0;     ///< all cells including macros and pads
+  std::size_t num_movable = 0;
+  std::size_t num_macros = 0;
+  std::size_t num_pads = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_pins = 0;
+  double avg_net_degree = 0.0;
+  int max_net_degree = 0;
+  double utilization = 0.0;
+  double macro_area_fraction = 0.0;  ///< fixed macro area / core area
+  std::size_t num_fences = 0;
+  std::size_t num_fenced_cells = 0;
+  std::size_t num_routing_blockages = 0;
+  std::map<int, std::size_t> degree_histogram;
+};
+
+DesignStats compute_stats(const Design& design);
+
+/// Human-readable one-design summary block.
+std::string to_string(const DesignStats& stats);
+
+}  // namespace laco

@@ -1,0 +1,55 @@
+// Synthetic circuit generator — the ISPD 2015 benchmark substitute.
+//
+// The real benchmarks are LEF/DEF-derived and not redistributable here,
+// so we generate circuits that reproduce the *structural* properties
+// the LACO paper depends on:
+//   * netlist locality (Rent's-rule-style clustered connectivity) — the
+//     reason wirelength-driven placement concentrates cells early
+//     (the paper's Fig. 1 distribution-shift phenomenon);
+//   * fixed macro blockages — the MacroRegion feature and the main
+//     source of congestion hotspots;
+//   * periphery I/O pads — long-range nets;
+//   * realistic net degree distribution (mostly 2–5 pins, a heavy tail).
+//
+// The generator is fully deterministic for a given config (seed
+// included), so every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/design.hpp"
+#include "util/rng.hpp"
+
+namespace laco {
+
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  int num_cells = 1000;             ///< movable standard cells
+  double nets_per_cell = 1.0;       ///< #nets ≈ num_cells × this (ISPD ratio ≈ 1)
+  double target_utilization = 0.7;  ///< movable area / free core area
+  double aspect_ratio = 1.0;        ///< core height / width
+  double row_height = 1.0;
+  double site_width = 0.5;
+  double mean_cell_sites = 2.0;     ///< mean cell width in sites (geometric)
+  int num_macros = 4;
+  double macro_area_fraction = 0.12;  ///< of the core area
+  int num_io_pads = 64;
+  double locality = 0.8;            ///< prob. a net pin stays in the anchor cluster
+  double mean_extra_degree = 1.6;   ///< net degree = 2 + Geometric(mean_extra_degree)
+  int max_net_degree = 32;
+  /// ISPD-2015-style constraints: exclusive fence regions holding a
+  /// cluster of cells each, and routing blockages derating router
+  /// capacity without blocking placement.
+  int num_fences = 0;
+  double fence_cell_fraction = 0.08;  ///< of movable cells, per fence
+  int num_routing_blockages = 0;
+  double routing_blockage_fraction = 0.04;  ///< of core area, total
+  std::uint64_t seed = 1;
+};
+
+/// Generates a design per the config. Movable cells are left at their
+/// "golden" (cluster) locations; placers re-initialize positions anyway.
+Design generate_design(const GeneratorConfig& config);
+
+}  // namespace laco

@@ -1,0 +1,92 @@
+#include "netlist/ispd2015_suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace laco {
+
+const std::vector<BenchmarkSpec>& ispd2015_suite() {
+  // Scales (#cells, #nets) follow the paper's Table I. Macro fractions
+  // and counts are qualitative: des_perf/fft/matrix_mult/pci_bridge are
+  // macro-light logic blocks of varying density; the *_a/_b variants are
+  // the congested floorplans of the suite (higher utilization, more
+  // blockage); superblue* are large macro-heavy mixed-size designs.
+  // The *_a/_b variants are the suite's fence-region + routing-blockage
+  // floorplans ("ISPD 2015 benchmarks with fence regions and routing
+  // blockages"); the *_1/_2 variants are unconstrained.
+  static const std::vector<BenchmarkSpec> suite = {
+      {"des_perf_1", 113, 113, 0.04, 2, 0.68, 0.82, 0, 0, true},
+      {"des_perf_a", 109, 110, 0.18, 5, 0.78, 0.80, 2, 2, true},
+      {"des_perf_b", 113, 113, 0.10, 4, 0.66, 0.82, 2, 1, true},
+      {"edit_dist_a", 130, 131, 0.22, 6, 0.80, 0.78, 2, 2, true},
+      {"fft_1", 35, 33, 0.04, 2, 0.66, 0.84, 0, 0, true},
+      {"fft_2", 35, 33, 0.06, 2, 0.70, 0.84, 0, 0, true},
+      {"fft_a", 34, 32, 0.14, 3, 0.72, 0.82, 1, 1, true},
+      {"fft_b", 34, 32, 0.20, 4, 0.80, 0.80, 1, 1, true},
+      {"matrix_mult_1", 160, 159, 0.05, 2, 0.68, 0.82, 0, 0, false},
+      {"matrix_mult_2", 160, 159, 0.05, 2, 0.68, 0.82, 0, 0, false},
+      {"matrix_mult_a", 154, 154, 0.12, 4, 0.72, 0.80, 2, 1, false},
+      {"matrix_mult_b", 151, 152, 0.24, 6, 0.82, 0.78, 2, 2, false},
+      {"matrix_mult_c", 151, 152, 0.12, 4, 0.70, 0.80, 2, 1, false},
+      {"pci_bridge32_a", 30, 30, 0.16, 4, 0.76, 0.80, 1, 1, false},
+      {"pci_bridge32_b", 29, 29, 0.08, 3, 0.62, 0.82, 1, 0, false},
+      {"superblue11_a", 954, 936, 0.30, 10, 0.80, 0.76, 2, 2, false},
+      {"superblue12", 1293, 1293, 0.26, 10, 0.78, 0.76, 0, 2, false},
+      {"superblue14", 634, 620, 0.26, 8, 0.76, 0.78, 0, 2, false},
+      {"superblue16_a", 698, 697, 0.28, 8, 0.80, 0.76, 2, 2, false},
+      {"superblue19", 522, 512, 0.24, 8, 0.76, 0.78, 0, 1, false},
+  };
+  return suite;
+}
+
+const BenchmarkSpec& ispd2015_spec(const std::string& name) {
+  for (const BenchmarkSpec& spec : ispd2015_suite()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("ispd2015_spec: unknown design '" + name + "'");
+}
+
+std::vector<std::string> ispd2015_design_names() {
+  std::vector<std::string> names;
+  names.reserve(ispd2015_suite().size());
+  for (const BenchmarkSpec& spec : ispd2015_suite()) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<std::string> ispd2015_first8_names() {
+  std::vector<std::string> names;
+  for (const BenchmarkSpec& spec : ispd2015_suite()) {
+    if (spec.first8) names.push_back(spec.name);
+  }
+  return names;
+}
+
+GeneratorConfig ispd2015_config(const std::string& name, double scale,
+                                std::uint64_t seed_offset) {
+  const BenchmarkSpec& spec = ispd2015_spec(name);
+  GeneratorConfig cfg;
+  cfg.name = name;
+  cfg.num_cells = std::max(64, static_cast<int>(std::lround(spec.paper_cells_k * 1000.0 * scale)));
+  cfg.nets_per_cell =
+      spec.paper_cells_k > 0 ? static_cast<double>(spec.paper_nets_k) / spec.paper_cells_k : 1.0;
+  cfg.target_utilization = spec.utilization;
+  cfg.num_macros = spec.num_macros;
+  cfg.macro_area_fraction = spec.macro_area_fraction;
+  cfg.locality = spec.locality;
+  cfg.num_fences = spec.num_fences;
+  cfg.num_routing_blockages = spec.num_blockages;
+  cfg.num_io_pads = std::clamp(cfg.num_cells / 16, 16, 256);
+  // Deterministic per-design seed so each named analog is stable across
+  // runs; seed_offset generates the "100 placement solutions" variants.
+  cfg.seed = std::hash<std::string>{}(name) ^ (0x9e3779b97f4a7c15ull * (seed_offset + 1));
+  return cfg;
+}
+
+Design make_ispd2015_analog(const std::string& name, double scale,
+                            std::uint64_t seed_offset) {
+  return generate_design(ispd2015_config(name, scale, seed_offset));
+}
+
+}  // namespace laco

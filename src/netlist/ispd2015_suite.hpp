@@ -1,0 +1,52 @@
+// ISPD 2015 benchmark analogs. The paper (Table I) evaluates on 20
+// designs from the ISPD 2015 detailed-routing-driven placement suite.
+// We can't ship those; this module captures each design's published
+// scale (#cells, #nets) and qualitative character (macro-heaviness,
+// utilization) and instantiates a synthetic analog at a configurable
+// scale factor via the generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "netlist/generator.hpp"
+
+namespace laco {
+
+struct BenchmarkSpec {
+  std::string name;
+  int paper_cells_k = 0;   ///< #Cells in the paper's Table I, in thousands
+  int paper_nets_k = 0;    ///< #Nets in the paper's Table I, in thousands
+  double macro_area_fraction = 0.12;
+  int num_macros = 4;
+  double utilization = 0.7;
+  double locality = 0.8;
+  int num_fences = 0;     ///< ISPD-2015 fence regions (the *_a/_b variants)
+  int num_blockages = 0;  ///< routing blockages
+  bool first8 = false;    ///< member of the paper's first-8 training split
+};
+
+/// The 20 Table-I designs, in paper order.
+const std::vector<BenchmarkSpec>& ispd2015_suite();
+
+/// Spec lookup by name; throws std::out_of_range for unknown names.
+const BenchmarkSpec& ispd2015_spec(const std::string& name);
+
+/// Names in paper order.
+std::vector<std::string> ispd2015_design_names();
+
+/// Names of the first 8 designs (the paper's training split).
+std::vector<std::string> ispd2015_first8_names();
+
+/// Builds a generator config for `name` at `scale` (1.0 = paper size;
+/// benches default to ~0.01 so CPU runs finish). `seed_offset` jitters
+/// the seed for generating multiple placement instances per design.
+GeneratorConfig ispd2015_config(const std::string& name, double scale,
+                                std::uint64_t seed_offset = 0);
+
+/// Convenience: generate the analog design directly.
+Design make_ispd2015_analog(const std::string& name, double scale,
+                            std::uint64_t seed_offset = 0);
+
+}  // namespace laco

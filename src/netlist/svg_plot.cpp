@@ -1,0 +1,93 @@
+#include "netlist/svg_plot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace laco {
+namespace {
+
+/// Maps layout coordinates into SVG pixel space (y flipped: SVG grows
+/// downward, layouts grow upward).
+struct Mapper {
+  const Rect core;
+  const double scale;
+  double x(double lx) const { return (lx - core.xl) * scale; }
+  double y(double ly) const { return (core.yh - ly) * scale; }
+  double w(double lw) const { return lw * scale; }
+  double h(double lh) const { return lh * scale; }
+};
+
+void rect(std::ostringstream& os, const Mapper& m, const Rect& r, const std::string& fill,
+          const std::string& stroke, double opacity = 1.0) {
+  os << "<rect x=\"" << m.x(r.xl) << "\" y=\"" << m.y(r.yh) << "\" width=\"" << m.w(r.width())
+     << "\" height=\"" << m.h(r.height()) << "\" fill=\"" << fill << "\" stroke=\"" << stroke
+     << "\" stroke-width=\"0.5\" fill-opacity=\"" << opacity << "\"/>\n";
+}
+
+}  // namespace
+
+std::string design_to_svg(const Design& design, const SvgPlotOptions& options) {
+  const Rect& core = design.core();
+  const double scale = options.width_px / std::max(1e-9, core.width());
+  const int height_px = static_cast<int>(core.height() * scale) + 1;
+  const Mapper m{core, scale};
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width_px
+     << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << options.width_px << ' '
+     << height_px << "\">\n";
+  os << "<!-- design: " << design.name() << " -->\n";
+  rect(os, m, core, "#fcfcfc", "#404040");
+
+  if (options.draw_cells) {
+    for (const Cell& cell : design.cells()) {
+      switch (cell.kind) {
+        case CellKind::kMacro:
+          rect(os, m, cell.rect(), "#6b6b6b", "#303030", 0.9);
+          break;
+        case CellKind::kPad:
+          rect(os, m, cell.rect(), "#2e8b57", "#1e5b37", 0.9);
+          break;
+        case CellKind::kStandard:
+          rect(os, m, cell.rect(), "#4477cc", "none", 0.7);
+          break;
+      }
+    }
+  }
+  if (options.draw_fences) {
+    for (const Fence& fence : design.fences()) {
+      rect(os, m, fence.region, "none", "#e08020");
+    }
+  }
+  if (options.draw_blockages) {
+    for (const Rect& blockage : design.routing_blockages()) {
+      rect(os, m, blockage, "#cc3333", "#881111", 0.15);
+    }
+  }
+  if (options.overlay != nullptr) {
+    const GridMap& heat = *options.overlay;
+    const double lo = 0.0;
+    const double hi = options.overlay_max > 0.0 ? options.overlay_max
+                                                : std::max(1e-12, heat.max());
+    for (int l = 0; l < heat.ny(); ++l) {
+      for (int k = 0; k < heat.nx(); ++k) {
+        const double t = std::clamp((heat.at(k, l) - lo) / (hi - lo), 0.0, 1.0);
+        if (t < 0.05) continue;
+        rect(os, m, heat.bin_rect(k, l), "#ff2200", "none", 0.6 * t);
+      }
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool write_svg_file(const Design& design, const std::string& path,
+                    const SvgPlotOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << design_to_svg(design, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace laco

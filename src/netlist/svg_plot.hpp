@@ -1,0 +1,28 @@
+// SVG rendering of placements: cells, macros, pads, fence regions,
+// routing blockages, and an optional congestion-map overlay. The
+// standard way to eyeball a placement or a hotspot without an EDA GUI.
+#pragma once
+
+#include <string>
+
+#include "gridmap/grid_map.hpp"
+#include "netlist/design.hpp"
+
+namespace laco {
+
+struct SvgPlotOptions {
+  int width_px = 800;           ///< image width; height follows the aspect ratio
+  bool draw_cells = true;
+  bool draw_fences = true;
+  bool draw_blockages = true;
+  /// Optional heat overlay (e.g. routed congestion); rendered as
+  /// semi-transparent red cells scaled by value / overlay_max.
+  const GridMap* overlay = nullptr;
+  double overlay_max = 0.0;  ///< 0 → use the overlay's own max
+};
+
+std::string design_to_svg(const Design& design, const SvgPlotOptions& options = {});
+bool write_svg_file(const Design& design, const std::string& path,
+                    const SvgPlotOptions& options = {});
+
+}  // namespace laco

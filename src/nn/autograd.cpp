@@ -1,0 +1,52 @@
+#include "nn/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace laco::nn {
+
+double gradient_check(const std::function<Tensor(const Tensor&)>& fn, Tensor& input,
+                      double epsilon, int max_probes) {
+  input.set_requires_grad(true);
+  Tensor loss = fn(input);
+  input.zero_grad();
+  loss.backward();
+  const std::vector<float> analytic = input.grad();
+
+  std::mt19937 rng(1234);
+  const std::int64_t n = input.numel();
+  const int probes = static_cast<int>(std::min<std::int64_t>(n, max_probes));
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  std::shuffle(idx.begin(), idx.end(), rng);
+
+  double max_rel_err = 0.0;
+  for (int p = 0; p < probes; ++p) {
+    const std::size_t i = static_cast<std::size_t>(idx[static_cast<std::size_t>(p)]);
+    const float saved = input.data()[i];
+    input.data()[i] = saved + static_cast<float>(epsilon);
+    const double up = fn(input).item();
+    input.data()[i] = saved - static_cast<float>(epsilon);
+    const double down = fn(input).item();
+    input.data()[i] = saved;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    const double denom = std::max({std::abs(numeric), std::abs(static_cast<double>(analytic[i])), 1e-4});
+    max_rel_err = std::max(max_rel_err, std::abs(numeric - analytic[i]) / denom);
+  }
+  return max_rel_err;
+}
+
+void fill_uniform(Tensor& tensor, float lo, float hi, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (float& v : tensor.data()) v = dist(rng);
+}
+
+void fill_kaiming(Tensor& tensor, int fan_in, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> dist(0.0f, std::sqrt(2.0f / std::max(1, fan_in)));
+  for (float& v : tensor.data()) v = dist(rng);
+}
+
+}  // namespace laco::nn

@@ -1,0 +1,25 @@
+// Autograd support utilities: numerical gradient checking used by the
+// test suite to validate every op's hand-written backward pass, plus
+// graph-wide helpers.
+#pragma once
+
+#include <functional>
+
+#include "nn/tensor.hpp"
+
+namespace laco::nn {
+
+/// Central-difference gradient check. `fn` maps the input tensor to a
+/// scalar loss; the analytic gradient (via backward()) is compared to
+/// finite differences on up to `max_probes` coordinates. Returns the
+/// maximum relative error observed.
+double gradient_check(const std::function<Tensor(const Tensor&)>& fn, Tensor& input,
+                      double epsilon = 1e-3, int max_probes = 64);
+
+/// Fills a tensor with uniform random values in [lo, hi] (mt19937 seeded).
+void fill_uniform(Tensor& tensor, float lo, float hi, unsigned seed);
+
+/// Fills with Kaiming-style normal noise: stddev = sqrt(2 / fan_in).
+void fill_kaiming(Tensor& tensor, int fan_in, unsigned seed);
+
+}  // namespace laco::nn

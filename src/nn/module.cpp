@@ -1,0 +1,50 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace laco::nn {
+
+Tensor Module::register_parameter(std::string name, Tensor tensor) {
+  tensor.set_requires_grad(true);
+  params_.emplace_back(std::move(name), tensor);
+  return tensor;
+}
+
+void Module::register_module(std::string name, Module* child) {
+  if (child == nullptr) throw std::invalid_argument("register_module: null child");
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, tensor] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  collect("", out);
+  return out;
+}
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (auto& [name, tensor] : named_parameters()) out.push_back(tensor);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Tensor& p : parameters()) p.zero_grad();
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const Tensor& p : parameters()) n += p.numel();
+  return n;
+}
+
+}  // namespace laco::nn

@@ -1,0 +1,45 @@
+// Module: base class for parameterized networks. Parameters and child
+// modules are registered by name, giving a flat, prefixed parameter
+// dictionary for optimizers and serialization (PyTorch state_dict
+// style).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace laco::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, depth-first, children after own.
+  std::vector<Tensor> parameters() const;
+  /// (dotted.name, tensor) pairs for serialization.
+  std::vector<std::pair<std::string, Tensor>> named_parameters() const;
+
+  void zero_grad();
+  /// Total number of scalar parameters.
+  std::int64_t num_parameters() const;
+
+ protected:
+  /// Registers and returns a trainable parameter.
+  Tensor register_parameter(std::string name, Tensor tensor);
+  /// Registers a child whose parameters are exposed under `name.`.
+  void register_module(std::string name, Module* child);
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace laco::nn

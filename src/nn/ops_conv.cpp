@@ -1,0 +1,219 @@
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+
+namespace laco::nn {
+namespace {
+
+void check_4d(const Tensor& t, const char* what) {
+  if (!t.defined() || t.shape().size() != 4) {
+    throw std::invalid_argument(std::string(what) + ": expected a 4-D NCHW tensor");
+  }
+}
+
+std::size_t off4(int a, int b, int c, int d, int B, int C, int D) {
+  return ((static_cast<std::size_t>(a) * B + b) * C + c) * D + d;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias, int stride,
+              int padding, int groups) {
+  check_4d(x, "conv2d input");
+  check_4d(weight, "conv2d weight");
+  const int n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int cout = weight.dim(0), cin_g = weight.dim(1), kh = weight.dim(2), kw = weight.dim(3);
+  if (groups < 1 || cin % groups != 0 || cout % groups != 0 || cin / groups != cin_g) {
+    throw std::invalid_argument("conv2d: inconsistent groups/channels");
+  }
+  const int oh = (h + 2 * padding - kh) / stride + 1;
+  const int ow = (w + 2 * padding - kw) / stride + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("conv2d: non-positive output size");
+  const int cout_g = cout / groups;
+
+  auto xi = x.impl();
+  auto wi = weight.impl();
+  auto bi = bias.defined() ? bias.impl() : nullptr;
+
+  Tensor out = make_op_output(
+      {n, cout, oh, ow}, {&x, &weight, &bias},
+      [=](TensorImpl& self) {
+        const bool need_x = xi->requires_grad;
+        const bool need_w = wi->requires_grad;
+        const bool need_b = bi && bi->requires_grad;
+        if (need_x) xi->ensure_grad();
+        if (need_w) wi->ensure_grad();
+        if (need_b) bi->ensure_grad();
+        for (int b = 0; b < n; ++b) {
+          for (int co = 0; co < cout; ++co) {
+            const int g = co / cout_g;
+            for (int y = 0; y < oh; ++y) {
+              for (int xo = 0; xo < ow; ++xo) {
+                const float gout = self.grad[off4(b, co, y, xo, cout, oh, ow)];
+                if (gout == 0.0f) continue;
+                if (need_b) bi->grad[static_cast<std::size_t>(co)] += gout;
+                for (int ci = 0; ci < cin_g; ++ci) {
+                  const int cig = g * cin_g + ci;
+                  for (int dy = 0; dy < kh; ++dy) {
+                    const int iy = y * stride - padding + dy;
+                    if (iy < 0 || iy >= h) continue;
+                    for (int dx = 0; dx < kw; ++dx) {
+                      const int ix = xo * stride - padding + dx;
+                      if (ix < 0 || ix >= w) continue;
+                      const std::size_t xoff = off4(b, cig, iy, ix, cin, h, w);
+                      const std::size_t woff = off4(co, ci, dy, dx, cin_g, kh, kw);
+                      if (need_x) xi->grad[xoff] += gout * wi->data[woff];
+                      if (need_w) wi->grad[woff] += gout * xi->data[xoff];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+
+  auto& y = out.data();
+  const auto& xd = x.data();
+  const auto& wd = weight.data();
+  for (int b = 0; b < n; ++b) {
+    for (int co = 0; co < cout; ++co) {
+      const int g = co / cout_g;
+      const float bval = bias.defined() ? bias.data()[static_cast<std::size_t>(co)] : 0.0f;
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xo = 0; xo < ow; ++xo) {
+          float acc = bval;
+          for (int ci = 0; ci < cin_g; ++ci) {
+            const int cig = g * cin_g + ci;
+            for (int dy = 0; dy < kh; ++dy) {
+              const int iy = yy * stride - padding + dy;
+              if (iy < 0 || iy >= h) continue;
+              for (int dx = 0; dx < kw; ++dx) {
+                const int ix = xo * stride - padding + dx;
+                if (ix < 0 || ix >= w) continue;
+                acc += xd[off4(b, cig, iy, ix, cin, h, w)] * wd[off4(co, ci, dy, dx, cin_g, kh, kw)];
+              }
+            }
+          }
+          y[off4(b, co, yy, xo, cout, oh, ow)] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv_transpose2d(const Tensor& x, const Tensor& weight, const Tensor& bias, int stride,
+                        int padding, int output_padding, int groups) {
+  check_4d(x, "conv_transpose2d input");
+  check_4d(weight, "conv_transpose2d weight");
+  const int n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int w_cin = weight.dim(0), cout_g = weight.dim(1), kh = weight.dim(2), kw = weight.dim(3);
+  if (w_cin != cin || groups < 1 || cin % groups != 0) {
+    throw std::invalid_argument("conv_transpose2d: inconsistent channels/groups");
+  }
+  const int cin_g = cin / groups;
+  const int cout = cout_g * groups;
+  const int oh = (h - 1) * stride - 2 * padding + kh + output_padding;
+  const int ow = (w - 1) * stride - 2 * padding + kw + output_padding;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("conv_transpose2d: non-positive output");
+
+  auto xi = x.impl();
+  auto wi = weight.impl();
+  auto bi = bias.defined() ? bias.impl() : nullptr;
+
+  Tensor out = make_op_output(
+      {n, cout, oh, ow}, {&x, &weight, &bias},
+      [=](TensorImpl& self) {
+        const bool need_x = xi->requires_grad;
+        const bool need_w = wi->requires_grad;
+        const bool need_b = bi && bi->requires_grad;
+        if (need_x) xi->ensure_grad();
+        if (need_w) wi->ensure_grad();
+        if (need_b) bi->ensure_grad();
+        if (need_b) {
+          for (int b = 0; b < n; ++b) {
+            for (int co = 0; co < cout; ++co) {
+              double acc = 0.0;
+              for (int yy = 0; yy < oh; ++yy) {
+                for (int xo = 0; xo < ow; ++xo) {
+                  acc += self.grad[off4(b, co, yy, xo, cout, oh, ow)];
+                }
+              }
+              bi->grad[static_cast<std::size_t>(co)] += static_cast<float>(acc);
+            }
+          }
+        }
+        if (!need_x && !need_w) return;
+        for (int b = 0; b < n; ++b) {
+          for (int ci = 0; ci < cin; ++ci) {
+            const int g = ci / cin_g;
+            for (int iy = 0; iy < h; ++iy) {
+              for (int ix = 0; ix < w; ++ix) {
+                const std::size_t xoff = off4(b, ci, iy, ix, cin, h, w);
+                const float xval = xi->data[xoff];
+                float xgrad = 0.0f;
+                for (int co = 0; co < cout_g; ++co) {
+                  const int cog = g * cout_g + co;
+                  for (int dy = 0; dy < kh; ++dy) {
+                    const int oy = iy * stride - padding + dy;
+                    if (oy < 0 || oy >= oh) continue;
+                    for (int dx = 0; dx < kw; ++dx) {
+                      const int ox = ix * stride - padding + dx;
+                      if (ox < 0 || ox >= ow) continue;
+                      const float gout = self.grad[off4(b, cog, oy, ox, cout, oh, ow)];
+                      if (gout == 0.0f) continue;
+                      const std::size_t woff = off4(ci, co, dy, dx, cout_g, kh, kw);
+                      if (need_x) xgrad += gout * wi->data[woff];
+                      if (need_w) wi->grad[woff] += gout * xval;
+                    }
+                  }
+                }
+                if (need_x) xi->grad[xoff] += xgrad;
+              }
+            }
+          }
+        }
+      });
+
+  auto& y = out.data();
+  if (bias.defined()) {
+    for (int b = 0; b < n; ++b) {
+      for (int co = 0; co < cout; ++co) {
+        const float bval = bias.data()[static_cast<std::size_t>(co)];
+        for (int yy = 0; yy < oh; ++yy) {
+          for (int xo = 0; xo < ow; ++xo) y[off4(b, co, yy, xo, cout, oh, ow)] = bval;
+        }
+      }
+    }
+  }
+  const auto& xd = x.data();
+  const auto& wd = weight.data();
+  for (int b = 0; b < n; ++b) {
+    for (int ci = 0; ci < cin; ++ci) {
+      const int g = ci / cin_g;
+      for (int iy = 0; iy < h; ++iy) {
+        for (int ix = 0; ix < w; ++ix) {
+          const float xval = xd[off4(b, ci, iy, ix, cin, h, w)];
+          if (xval == 0.0f) continue;
+          for (int co = 0; co < cout_g; ++co) {
+            const int cog = g * cout_g + co;
+            for (int dy = 0; dy < kh; ++dy) {
+              const int oy = iy * stride - padding + dy;
+              if (oy < 0 || oy >= oh) continue;
+              for (int dx = 0; dx < kw; ++dx) {
+                const int ox = ix * stride - padding + dx;
+                if (ox < 0 || ox >= ow) continue;
+                y[off4(b, cog, oy, ox, cout, oh, ow)] +=
+                    xval * wd[off4(ci, co, dy, dx, cout_g, kh, kw)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace laco::nn

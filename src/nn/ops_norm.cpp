@@ -1,0 +1,117 @@
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/ops.hpp"
+
+namespace laco::nn {
+
+Tensor group_norm(const Tensor& x, int num_groups, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  if (x.shape().size() != 4) throw std::invalid_argument("group_norm: expected NCHW");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (num_groups < 1 || c % num_groups != 0) {
+    throw std::invalid_argument("group_norm: channels not divisible by groups");
+  }
+  if (!gamma.defined() || !beta.defined() || gamma.numel() != c || beta.numel() != c) {
+    throw std::invalid_argument("group_norm: gamma/beta must have C elements");
+  }
+  const int cg = c / num_groups;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const std::size_t group_size = static_cast<std::size_t>(cg) * plane;
+
+  // Forward statistics, captured for the backward pass.
+  std::vector<float> means(static_cast<std::size_t>(n) * num_groups);
+  std::vector<float> inv_stds(static_cast<std::size_t>(n) * num_groups);
+  const auto& xd = x.data();
+  for (int b = 0; b < n; ++b) {
+    for (int g = 0; g < num_groups; ++g) {
+      const std::size_t base = (static_cast<std::size_t>(b) * c + static_cast<std::size_t>(g) * cg) * plane;
+      double m = 0.0;
+      for (std::size_t i = 0; i < group_size; ++i) m += xd[base + i];
+      m /= static_cast<double>(group_size);
+      double v = 0.0;
+      for (std::size_t i = 0; i < group_size; ++i) {
+        const double d = xd[base + i] - m;
+        v += d * d;
+      }
+      v /= static_cast<double>(group_size);
+      means[static_cast<std::size_t>(b) * num_groups + g] = static_cast<float>(m);
+      inv_stds[static_cast<std::size_t>(b) * num_groups + g] =
+          static_cast<float>(1.0 / std::sqrt(v + eps));
+    }
+  }
+
+  auto xi = x.impl();
+  auto gi = gamma.impl();
+  auto bi = beta.impl();
+  Tensor out = make_op_output(
+      x.shape(), {&x, &gamma, &beta},
+      [=](TensorImpl& self) {
+        const bool need_x = xi->requires_grad;
+        const bool need_g = gi->requires_grad;
+        const bool need_b = bi->requires_grad;
+        if (need_x) xi->ensure_grad();
+        if (need_g) gi->ensure_grad();
+        if (need_b) bi->ensure_grad();
+        const float inv_m = 1.0f / static_cast<float>(group_size);
+        for (int b = 0; b < n; ++b) {
+          for (int g = 0; g < num_groups; ++g) {
+            const std::size_t base =
+                (static_cast<std::size_t>(b) * c + static_cast<std::size_t>(g) * cg) * plane;
+            const float m = means[static_cast<std::size_t>(b) * num_groups + g];
+            const float is = inv_stds[static_cast<std::size_t>(b) * num_groups + g];
+            // Accumulate the two reduction terms of the GN backward.
+            double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+            for (int cc = 0; cc < cg; ++cc) {
+              const int ch = g * cg + cc;
+              const float ga = gi->data[static_cast<std::size_t>(ch)];
+              for (std::size_t i = 0; i < plane; ++i) {
+                const std::size_t idx = base + static_cast<std::size_t>(cc) * plane + i;
+                const float xhat = (xi->data[idx] - m) * is;
+                const float gout = self.grad[idx];
+                if (need_g) gi->grad[static_cast<std::size_t>(ch)] += gout * xhat;
+                if (need_b) bi->grad[static_cast<std::size_t>(ch)] += gout;
+                const float dxhat = gout * ga;
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+              }
+            }
+            if (!need_x) continue;
+            for (int cc = 0; cc < cg; ++cc) {
+              const int ch = g * cg + cc;
+              const float ga = gi->data[static_cast<std::size_t>(ch)];
+              for (std::size_t i = 0; i < plane; ++i) {
+                const std::size_t idx = base + static_cast<std::size_t>(cc) * plane + i;
+                const float xhat = (xi->data[idx] - m) * is;
+                const float dxhat = self.grad[idx] * ga;
+                xi->grad[idx] += is * (dxhat - inv_m * static_cast<float>(sum_dxhat) -
+                                       xhat * inv_m * static_cast<float>(sum_dxhat_xhat));
+              }
+            }
+          }
+        }
+      });
+
+  auto& y = out.data();
+  for (int b = 0; b < n; ++b) {
+    for (int g = 0; g < num_groups; ++g) {
+      const std::size_t base =
+          (static_cast<std::size_t>(b) * c + static_cast<std::size_t>(g) * cg) * plane;
+      const float m = means[static_cast<std::size_t>(b) * num_groups + g];
+      const float is = inv_stds[static_cast<std::size_t>(b) * num_groups + g];
+      for (int cc = 0; cc < cg; ++cc) {
+        const int ch = g * cg + cc;
+        const float ga = gamma.data()[static_cast<std::size_t>(ch)];
+        const float be = beta.data()[static_cast<std::size_t>(ch)];
+        for (std::size_t i = 0; i < plane; ++i) {
+          const std::size_t idx = base + static_cast<std::size_t>(cc) * plane + i;
+          y[idx] = ga * (xd[idx] - m) * is + be;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace laco::nn

@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+
+namespace laco::nn {
+namespace {
+
+/// Bilinear source sample for output index `o` (align_corners=false).
+struct Lerp {
+  int i0, i1;
+  float w0, w1;
+};
+
+Lerp lerp_coeff(int o, int out_size, int in_size) {
+  const float src = (static_cast<float>(o) + 0.5f) * in_size / out_size - 0.5f;
+  const float clamped = std::clamp(src, 0.0f, static_cast<float>(in_size - 1));
+  const int i0 = static_cast<int>(std::floor(clamped));
+  const int i1 = std::min(i0 + 1, in_size - 1);
+  const float t = clamped - static_cast<float>(i0);
+  return {i0, i1, 1.0f - t, t};
+}
+
+}  // namespace
+
+Tensor upsample_bilinear(const Tensor& x, int out_h, int out_w) {
+  if (x.shape().size() != 4) throw std::invalid_argument("upsample_bilinear: expected NCHW");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (out_h <= 0 || out_w <= 0) throw std::invalid_argument("upsample_bilinear: bad size");
+
+  auto xi = x.impl();
+  Tensor out = make_op_output(
+      {n, c, out_h, out_w}, {&x}, [xi, n, c, h, w, out_h, out_w](TensorImpl& self) {
+        if (!xi->requires_grad) return;
+        xi->ensure_grad();
+        for (int oy = 0; oy < out_h; ++oy) {
+          const Lerp ly = lerp_coeff(oy, out_h, h);
+          for (int ox = 0; ox < out_w; ++ox) {
+            const Lerp lx = lerp_coeff(ox, out_w, w);
+            for (int b = 0; b < n; ++b) {
+              for (int ch = 0; ch < c; ++ch) {
+                const std::size_t in_base = (static_cast<std::size_t>(b) * c + ch) * h * w;
+                const std::size_t out_base =
+                    (static_cast<std::size_t>(b) * c + ch) * out_h * out_w;
+                const float g = self.grad[out_base + static_cast<std::size_t>(oy) * out_w + ox];
+                if (g == 0.0f) continue;
+                xi->grad[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i0] += g * ly.w0 * lx.w0;
+                xi->grad[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i1] += g * ly.w0 * lx.w1;
+                xi->grad[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i0] += g * ly.w1 * lx.w0;
+                xi->grad[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i1] += g * ly.w1 * lx.w1;
+              }
+            }
+          }
+        }
+      });
+
+  for (int oy = 0; oy < out_h; ++oy) {
+    const Lerp ly = lerp_coeff(oy, out_h, h);
+    for (int ox = 0; ox < out_w; ++ox) {
+      const Lerp lx = lerp_coeff(ox, out_w, w);
+      for (int b = 0; b < n; ++b) {
+        for (int ch = 0; ch < c; ++ch) {
+          const std::size_t in_base = (static_cast<std::size_t>(b) * c + ch) * h * w;
+          const std::size_t out_base = (static_cast<std::size_t>(b) * c + ch) * out_h * out_w;
+          const auto& xd = x.data();
+          out.data()[out_base + static_cast<std::size_t>(oy) * out_w + ox] =
+              ly.w0 * (lx.w0 * xd[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i0] +
+                       lx.w1 * xd[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i1]) +
+              ly.w1 * (lx.w0 * xd[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i0] +
+                       lx.w1 * xd[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i1]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avg_pool2d(const Tensor& x, int k) {
+  if (x.shape().size() != 4) throw std::invalid_argument("avg_pool2d: expected NCHW");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (k <= 0 || h % k != 0 || w % k != 0) {
+    throw std::invalid_argument("avg_pool2d: spatial dims must divide k");
+  }
+  const int oh = h / k, ow = w / k;
+  const float inv = 1.0f / static_cast<float>(k * k);
+
+  auto xi = x.impl();
+  Tensor out = make_op_output(
+      {n, c, oh, ow}, {&x}, [xi, n, c, h, w, oh, ow, k, inv](TensorImpl& self) {
+        if (!xi->requires_grad) return;
+        xi->ensure_grad();
+        for (int b = 0; b < n; ++b) {
+          for (int ch = 0; ch < c; ++ch) {
+            const std::size_t ib = (static_cast<std::size_t>(b) * c + ch) * h * w;
+            const std::size_t ob = (static_cast<std::size_t>(b) * c + ch) * oh * ow;
+            for (int oy = 0; oy < oh; ++oy) {
+              for (int ox = 0; ox < ow; ++ox) {
+                const float g = self.grad[ob + static_cast<std::size_t>(oy) * ow + ox] * inv;
+                for (int dy = 0; dy < k; ++dy) {
+                  for (int dx = 0; dx < k; ++dx) {
+                    xi->grad[ib + static_cast<std::size_t>(oy * k + dy) * w + ox * k + dx] += g;
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const std::size_t ib = (static_cast<std::size_t>(b) * c + ch) * h * w;
+      const std::size_t ob = (static_cast<std::size_t>(b) * c + ch) * oh * ow;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int dy = 0; dy < k; ++dy) {
+            for (int dx = 0; dx < k; ++dx) {
+              acc += x.data()[ib + static_cast<std::size_t>(oy * k + dy) * w + ox * k + dx];
+            }
+          }
+          out.data()[ob + static_cast<std::size_t>(oy) * ow + ox] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  if (x.shape().size() != 4) throw std::invalid_argument("global_avg_pool: expected NCHW");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const float inv = 1.0f / static_cast<float>(plane);
+
+  auto xi = x.impl();
+  Tensor out = make_op_output({n, c}, {&x}, [xi, n, c, plane, inv](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->ensure_grad();
+    for (int b = 0; b < n; ++b) {
+      for (int ch = 0; ch < c; ++ch) {
+        const float g = self.grad[static_cast<std::size_t>(b) * c + ch] * inv;
+        const std::size_t base = (static_cast<std::size_t>(b) * c + ch) * plane;
+        for (std::size_t i = 0; i < plane; ++i) xi->grad[base + i] += g;
+      }
+    }
+  });
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const std::size_t base = (static_cast<std::size_t>(b) * c + ch) * plane;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) acc += x.data()[base + i];
+      out.data()[static_cast<std::size_t>(b) * c + ch] = static_cast<float>(acc * inv);
+    }
+  }
+  return out;
+}
+
+}  // namespace laco::nn

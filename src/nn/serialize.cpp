@@ -1,0 +1,90 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace laco::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c41434fu;  // "LACO"
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("load_parameters: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("load_parameters: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void save_parameters(const Module& module, std::ostream& out) {
+  const auto named = module.named_parameters();
+  write_u32(out, kMagic);
+  write_u32(out, static_cast<std::uint32_t>(named.size()));
+  for (const auto& [name, tensor] : named) {
+    write_string(out, name);
+    write_u32(out, static_cast<std::uint32_t>(tensor.shape().size()));
+    for (const int d : tensor.shape()) write_u32(out, static_cast<std::uint32_t>(d));
+    out.write(reinterpret_cast<const char*>(tensor.data().data()),
+              static_cast<std::streamsize>(tensor.data().size() * sizeof(float)));
+  }
+}
+
+bool save_parameters_file(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save_parameters(module, out);
+  return static_cast<bool>(out);
+}
+
+void load_parameters(Module& module, std::istream& in) {
+  if (read_u32(in) != kMagic) throw std::runtime_error("load_parameters: bad magic");
+  const std::uint32_t count = read_u32(in);
+  std::map<std::string, std::pair<Shape, std::vector<float>>> loaded;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = read_string(in);
+    const std::uint32_t rank = read_u32(in);
+    Shape shape(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) shape[d] = static_cast<int>(read_u32(in));
+    std::vector<float> data(static_cast<std::size_t>(numel(shape)));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_parameters: truncated tensor data");
+    loaded[name] = {std::move(shape), std::move(data)};
+  }
+  for (auto& [name, tensor] : module.named_parameters()) {
+    const auto it = loaded.find(name);
+    if (it == loaded.end()) throw std::runtime_error("load_parameters: missing '" + name + "'");
+    if (it->second.first != tensor.shape()) {
+      throw std::runtime_error("load_parameters: shape mismatch for '" + name + "'");
+    }
+    tensor.data() = it->second.second;
+  }
+}
+
+void load_parameters_file(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open '" + path + "'");
+  load_parameters(module, in);
+}
+
+}  // namespace laco::nn

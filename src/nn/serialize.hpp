@@ -1,0 +1,21 @@
+// Binary (de)serialization of a module's named parameters — a minimal
+// state_dict so trained congestion / look-ahead models can be saved and
+// reloaded by examples and benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace laco::nn {
+
+void save_parameters(const Module& module, std::ostream& out);
+bool save_parameters_file(const Module& module, const std::string& path);
+
+/// Loads parameters by name; throws std::runtime_error on missing names
+/// or shape mismatches (a strict load, matching PyTorch strict=True).
+void load_parameters(Module& module, std::istream& in);
+void load_parameters_file(Module& module, const std::string& path);
+
+}  // namespace laco::nn

@@ -1,0 +1,215 @@
+#include "placer/abacus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace laco {
+namespace {
+
+/// A maximal free interval of one row holding Abacus clusters.
+struct Cluster {
+  double e = 0.0;  ///< total weight (cell areas)
+  double q = 0.0;  ///< Σ eᵢ·(targetᵢ − offsetᵢ-in-cluster)
+  double w = 0.0;  ///< total width
+  double x = 0.0;  ///< placed position of the cluster's left edge
+  std::vector<CellId> cells;
+};
+
+struct Segment {
+  double xl, xh;
+  std::vector<Cluster> clusters;
+
+  double used() const {
+    double total = 0.0;
+    for (const Cluster& c : clusters) total += c.w;
+    return total;
+  }
+};
+
+struct Row {
+  double y;
+  std::vector<Segment> segments;
+};
+
+double cluster_position(const Cluster& c, const Segment& seg) {
+  return std::clamp(c.q / c.e, seg.xl, seg.xh - c.w);
+}
+
+/// Abacus Collapse: place the last cluster; merge into its predecessor
+/// while they overlap.
+void collapse(Segment& seg) {
+  while (true) {
+    Cluster& cur = seg.clusters.back();
+    cur.x = cluster_position(cur, seg);
+    if (seg.clusters.size() < 2) return;
+    Cluster& prev = seg.clusters[seg.clusters.size() - 2];
+    if (prev.x + prev.w <= cur.x + 1e-12) return;
+    // Merge cur into prev: members keep their order and offsets.
+    prev.q += cur.q - cur.e * prev.w;
+    prev.e += cur.e;
+    prev.w += cur.w;
+    prev.cells.insert(prev.cells.end(), cur.cells.begin(), cur.cells.end());
+    seg.clusters.pop_back();
+    seg.clusters.back().x = cluster_position(seg.clusters.back(), seg);
+  }
+}
+
+/// Appends a cell (left-to-right order assumed) as its own cluster and
+/// collapses. The cell's resulting x is the cluster position plus the
+/// widths of the members ahead of it.
+void append_cell(Segment& seg, CellId cid, double target, double width, double weight) {
+  Cluster next;
+  next.e = weight;
+  next.q = weight * target;
+  next.w = width;
+  next.cells.push_back(cid);
+  seg.clusters.push_back(std::move(next));
+  collapse(seg);
+}
+
+std::vector<Row> build_rows(const Design& design, const Rect& domain,
+                            const std::vector<Rect>& exclusions) {
+  const Rect& core = design.core();
+  const double rh = design.row_height();
+  const int first_row =
+      std::max(0, static_cast<int>(std::ceil((domain.yl - core.yl) / rh - 1e-9)));
+  const int num_core_rows = std::max(1, static_cast<int>(std::floor(core.height() / rh)));
+  std::vector<Row> rows;
+  for (int r = first_row; r < num_core_rows; ++r) {
+    const double y = core.yl + r * rh;
+    if (y + rh > domain.yh + 1e-9) break;
+    const double xl = std::max(domain.xl, core.xl);
+    const double xh = std::min(domain.xh, core.xh);
+    if (xh - xl <= 0.0) continue;
+    rows.push_back({y, {Segment{xl, xh, {}}}});
+  }
+  const auto carve = [&](const Rect& cut) {
+    for (Row& row : rows) {
+      if (cut.yh <= row.y || cut.yl >= row.y + rh) continue;
+      std::vector<Segment> updated;
+      for (Segment& seg : row.segments) {
+        if (cut.xh <= seg.xl || cut.xl >= seg.xh) {
+          updated.push_back(std::move(seg));
+          continue;
+        }
+        if (cut.xl > seg.xl) updated.push_back(Segment{seg.xl, cut.xl, {}});
+        if (cut.xh < seg.xh) updated.push_back(Segment{cut.xh, seg.xh, {}});
+      }
+      row.segments = std::move(updated);
+    }
+  };
+  for (const Cell& cell : design.cells()) {
+    if (cell.kind == CellKind::kMacro) carve(cell.rect());
+  }
+  for (const Rect& r : exclusions) carve(r);
+  return rows;
+}
+
+void place_cells(Design& design, std::vector<CellId> order, std::vector<Row>& rows,
+                 const LegalizerOptions& options, LegalizeResult& result) {
+  if (rows.empty()) {
+    result.failed += order.size();
+    return;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](CellId a, CellId b) { return design.cell(a).x < design.cell(b).x; });
+  const double rh = design.row_height();
+  const double rows_y0 = rows.front().y;
+
+  // Records of final segment assignment; positions written in finalize.
+  for (const CellId cid : order) {
+    Cell& cell = design.cell(cid);
+    const double tx = cell.x;
+    const double ty = cell.y;
+    const int target_row = static_cast<int>(std::clamp(
+        std::round((ty - rows_y0) / rh), 0.0, static_cast<double>(rows.size()) - 1.0));
+
+    // Trial: cheap cost = |resulting cluster-appended position − target|
+    // simulated on a scratch copy of the segment's trailing cluster.
+    double best_cost = std::numeric_limits<double>::infinity();
+    Segment* best_seg = nullptr;
+    double best_y = 0.0;
+    const int max_radius = static_cast<int>(rows.size());
+    for (int radius = 0; radius <= max_radius; ++radius) {
+      if (best_seg != nullptr && radius > options.row_search_window) break;
+      for (const int dir : {-1, 1}) {
+        if (radius == 0 && dir == 1) continue;
+        const int r = target_row + dir * radius;
+        if (r < 0 || static_cast<std::size_t>(r) >= rows.size()) continue;
+        Row& row = rows[static_cast<std::size_t>(r)];
+        for (Segment& seg : row.segments) {
+          if (seg.xh - seg.xl - seg.used() < cell.width) continue;
+          Segment scratch{seg.xl, seg.xh, seg.clusters};  // cluster copy (small)
+          const double weight = std::max(1e-9, cell.area());
+          append_cell(scratch, cid, tx, cell.width, weight);
+          // Position of the appended cell: cluster x + widths before it.
+          const Cluster& host = scratch.clusters.back();
+          double x = host.x;
+          for (const CellId member : host.cells) {
+            if (member == cid) break;
+            x += design.cell(member).width;
+          }
+          const double cost = std::abs(x - tx) + std::abs(row.y - ty);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_seg = &seg;
+            best_y = row.y;
+          }
+        }
+      }
+    }
+    if (best_seg == nullptr) {
+      ++result.failed;
+      continue;
+    }
+    append_cell(*best_seg, cid, tx, cell.width, std::max(1e-9, cell.area()));
+    result.total_displacement += std::abs(best_y - ty);
+    cell.y = best_y;  // final x written in the finalize pass
+    ++result.placed;
+  }
+
+  // Finalize: write member positions from cluster layouts.
+  for (Row& row : rows) {
+    for (Segment& seg : row.segments) {
+      for (const Cluster& cluster : seg.clusters) {
+        double x = cluster.x;
+        for (const CellId member : cluster.cells) {
+          Cell& cell = design.cell(member);
+          const double disp = std::abs(x - cell.x);
+          result.total_displacement += disp;
+          result.max_displacement = std::max(result.max_displacement, disp);
+          cell.x = x;
+          x += cell.width;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LegalizeResult abacus_legalize(Design& design, const LegalizerOptions& options) {
+  LegalizeResult result;
+  std::vector<Rect> fence_rects;
+  for (const Fence& fence : design.fences()) fence_rects.push_back(fence.region);
+
+  for (const Fence& fence : design.fences()) {
+    std::vector<Row> rows = build_rows(design, fence.region, {});
+    std::vector<CellId> members;
+    for (const CellId cid : fence.members) {
+      if (!design.cell(cid).fixed) members.push_back(cid);
+    }
+    place_cells(design, std::move(members), rows, options, result);
+  }
+  std::vector<Row> rows = build_rows(design, design.core(), fence_rects);
+  std::vector<CellId> unfenced;
+  for (const CellId cid : design.movable_cells()) {
+    if (design.fence_of(cid) == kNoFence) unfenced.push_back(cid);
+  }
+  place_cells(design, std::move(unfenced), rows, options, result);
+  return result;
+}
+
+}  // namespace laco

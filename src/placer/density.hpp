@@ -1,0 +1,58 @@
+// Electrostatics-based density model D(x, y) (ePlace / DREAMPlace,
+// paper Eq. 1). Movable cells are charges with quantity q_i = area;
+// fixed macros are charges too, so cells are pushed out of blockages.
+// The density map is the charge distribution; the Poisson potential
+// gives the energy D = ½ Σ q_i ψ(x_i) and the field gives the gradient
+// dD/dx_i = −q_i E_x(x_i).
+//
+// Small standard cells are smoothed to at least one bin in each
+// dimension (value rescaled to preserve total charge), the standard
+// ePlace local-smoothing trick.
+#pragma once
+
+#include <vector>
+
+#include "gridmap/grid_map.hpp"
+#include "netlist/design.hpp"
+#include "placer/poisson.hpp"
+
+namespace laco {
+
+class DensityModel {
+ public:
+  DensityModel(const Design& design, int nx, int ny);
+
+  /// Recomputes the charge map for the design's current positions,
+  /// solves Poisson, and caches potential/field.
+  void update(const Design& design);
+
+  /// Energy ½ Σ q_i ψ(center_i) over movable cells (call after update()).
+  double energy(const Design& design) const;
+
+  /// Accumulates dD/dx, dD/dy into CellId-indexed buffers.
+  void add_gradient(const Design& design, double weight, std::vector<double>& grad_x,
+                    std::vector<double>& grad_y) const;
+
+  /// Density overflow: Σ_b max(0, movable_b − capacity_b) / Σ movable
+  /// area, where capacity_b scales each bin's macro-free area so total
+  /// capacity equals total movable area. Reaches ~0 when spread evenly.
+  double overflow(const Design& design) const;
+
+  const GridMap& density() const { return density_; }
+  const GridMap& movable_density() const { return movable_density_; }
+  const GridMap& potential() const { return potential_; }
+  double target_density() const { return target_density_; }
+
+ private:
+  int nx_, ny_;
+  PoissonSolver solver_;
+  GridMap density_;          ///< total charge (movable + macro) per bin
+  GridMap movable_density_;  ///< movable area per bin
+  GridMap capacity_;         ///< per-bin movable-area capacity
+  GridMap potential_;
+  GridMap field_x_;
+  GridMap field_y_;
+  double target_density_ = 0.0;  ///< charge per bin when perfectly spread
+};
+
+}  // namespace laco

@@ -1,0 +1,117 @@
+#include "placer/detailed_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace laco {
+namespace {
+
+/// HPWL restricted to the nets touching the given cells.
+double partial_hpwl(const Design& design, const std::vector<NetId>& nets) {
+  double total = 0.0;
+  for (const NetId nid : nets) {
+    const Net& net = design.net(nid);
+    if (net.degree() < 2) continue;
+    const Rect bb = net_bbox(design, net);
+    total += net.weight * (bb.width() + bb.height());
+  }
+  return total;
+}
+
+}  // namespace
+
+DetailedPlaceResult detailed_place(Design& design, const DetailedPlacerOptions& options) {
+  DetailedPlaceResult result;
+  result.hpwl_before = design.hpwl();
+
+  // Precompute pin lists per cell to avoid rescanning all pins per swap.
+  std::vector<std::vector<NetId>> cell_nets(design.num_cells());
+  for (PinId pid = 0; pid < static_cast<PinId>(design.num_pins()); ++pid) {
+    const Pin& pin = design.pin(pid);
+    cell_nets[static_cast<std::size_t>(pin.cell)].push_back(pin.net);
+  }
+  for (auto& nets : cell_nets) {
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  }
+  const auto merged_nets = [&](CellId a, CellId b) {
+    std::vector<NetId> nets = cell_nets[static_cast<std::size_t>(a)];
+    nets.insert(nets.end(), cell_nets[static_cast<std::size_t>(b)].begin(),
+                cell_nets[static_cast<std::size_t>(b)].end());
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    return nets;
+  };
+
+  // Bucket movable cells by row.
+  const double rh = design.row_height();
+  const Rect& core = design.core();
+  const int num_rows = std::max(1, static_cast<int>(std::floor(core.height() / rh)));
+  std::vector<std::vector<CellId>> rows(static_cast<std::size_t>(num_rows));
+  for (const CellId cid : design.movable_cells()) {
+    const int r = std::clamp(static_cast<int>((design.cell(cid).y - core.yl) / rh), 0,
+                             num_rows - 1);
+    rows[static_cast<std::size_t>(r)].push_back(cid);
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [&](CellId a, CellId b) { return design.cell(a).x < design.cell(b).x; });
+  }
+
+  std::vector<const Cell*> macros;
+  for (const Cell& c : design.cells()) {
+    if (c.kind == CellKind::kMacro) macros.push_back(&c);
+  }
+  const auto violates_region = [&](CellId cid) {
+    const Cell& c = design.cell(cid);
+    for (const Cell* m : macros) {
+      if (overlap_area(c.rect(), m->rect()) > 1e-9) return true;
+    }
+    // Fence exclusivity: members stay inside, others stay out.
+    const FenceId fence = design.fence_of(cid);
+    if (fence != kNoFence) {
+      const Rect& region = design.fences()[static_cast<std::size_t>(fence)].region;
+      if (overlap_area(c.rect(), region) < c.area() - 1e-9) return true;
+    } else {
+      for (const Fence& f : design.fences()) {
+        if (overlap_area(c.rect(), f.region) > 1e-9) return true;
+      }
+    }
+    return false;
+  };
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    for (auto& row : rows) {
+      for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+        Cell& a = design.cell(row[i]);
+        Cell& b = design.cell(row[i + 1]);
+        // Swap keeps the pair's left edge and packing: a takes b's slot
+        // start only if widths permit without overlap — place b at a.x
+        // and a right after b.
+        const double ax = a.x, bx = b.x;
+        const double gap = (bx + b.width) - ax;  // span occupied by the pair
+        if (gap < a.width + b.width - 1e-9) continue;  // overlapping inputs; skip
+        const std::vector<NetId> nets = merged_nets(row[i], row[i + 1]);
+        const double before = partial_hpwl(design, nets);
+        b.x = ax;
+        a.x = ax + b.width + (gap - a.width - b.width);  // preserve right edge
+        const double after = partial_hpwl(design, nets);
+        // A pair straddling a macro gap or a fence boundary would swap
+        // into the blockage / violate region exclusivity.
+        const bool blocked = violates_region(row[i]) || violates_region(row[i + 1]);
+        if (!blocked && after + 1e-12 < before) {
+          std::swap(row[i], row[i + 1]);
+          ++result.swaps_accepted;
+        } else {
+          a.x = ax;
+          b.x = bx;
+        }
+      }
+    }
+  }
+  result.hpwl_after = design.hpwl();
+  return result;
+}
+
+}  // namespace laco

@@ -1,0 +1,23 @@
+// Greedy detailed placement on a legalized design: per-row adjacent-pair
+// swaps accepted when they reduce HPWL. Deliberately simple — the paper
+// focuses on global placement; DP exists so the full GP→LG→DP flow is
+// exercised end to end.
+#pragma once
+
+#include "netlist/design.hpp"
+
+namespace laco {
+
+struct DetailedPlacerOptions {
+  int passes = 2;
+};
+
+struct DetailedPlaceResult {
+  std::size_t swaps_accepted = 0;
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+};
+
+DetailedPlaceResult detailed_place(Design& design, const DetailedPlacerOptions& options = {});
+
+}  // namespace laco

@@ -1,0 +1,193 @@
+#include "placer/global_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "placer/nesterov.hpp"
+#include "util/logging.hpp"
+
+namespace laco {
+namespace {
+
+double abs_sum(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (const double v : a) s += std::abs(v);
+  for (const double v : b) s += std::abs(v);
+  return s;
+}
+
+/// Gathers CellId-indexed gradients into movable-order vectors.
+void gather_movable(const Design& design, const std::vector<double>& gx_cell,
+                    const std::vector<double>& gy_cell, std::vector<double>& gx,
+                    std::vector<double>& gy) {
+  const auto& movable = design.movable_cells();
+  gx.resize(movable.size());
+  gy.resize(movable.size());
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    gx[i] = gx_cell[static_cast<std::size_t>(movable[i])];
+    gy[i] = gy_cell[static_cast<std::size_t>(movable[i])];
+  }
+}
+
+}  // namespace
+
+GlobalPlacer::GlobalPlacer(Design& design, GlobalPlacerOptions options)
+    : design_(design),
+      options_(options),
+      density_(design, options.bin_nx, options.bin_ny),
+      wirelength_(density_.density().bin_width(), options.wirelength_kind) {
+  pin_count_.assign(design.num_cells(), 0.0);
+  for (const Pin& pin : design.pins()) {
+    pin_count_[static_cast<std::size_t>(pin.cell)] += 1.0;
+  }
+  bin_area_ = density_.density().bin_area();
+}
+
+void GlobalPlacer::initialize_positions(std::vector<double>& x, std::vector<double>& y) {
+  design_.get_movable_positions(x, y);
+  if (!options_.center_init) return;
+  Rng rng(options_.seed);
+  const Point c = design_.core().center();
+  const double noise = options_.init_noise_frac * design_.core().width();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = c.x + rng.normal(0.0, noise);
+    y[i] = c.y + rng.normal(0.0, noise);
+  }
+  design_.set_movable_positions(x, y);
+  design_.get_movable_positions(x, y);  // re-read after clamping
+}
+
+PlacementResult GlobalPlacer::run() {
+  PlacementResult result;
+  std::vector<double> x, y;
+  initialize_positions(x, y);
+
+  const double bin_w = density_.density().bin_width();
+  // Initial BB-free step: a fraction of a bin per unit normalized gradient.
+  NesterovOptimizer optimizer(x, y, /*initial_step=*/1.0);
+
+  std::vector<double> gx_cell(design_.num_cells());
+  std::vector<double> gy_cell(design_.num_cells());
+  std::vector<double> dgx_cell(design_.num_cells());
+  std::vector<double> dgy_cell(design_.num_cells());
+  std::vector<double> gx, gy;
+
+  // λ is re-derived every iteration from the gradient norms: the density
+  // pressure is `ratio` × the wirelength pressure, with the ratio ramped
+  // multiplicatively and capped. Self-normalizing, so the schedule is
+  // stable across designs and scales (DREAMPlace tunes a raw λ instead).
+  double ratio = options_.lambda_init_ratio;
+  double prev_overflow = 1.0;
+  double best_overflow = 1.0;
+  int best_overflow_iter = 0;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    design_.set_movable_positions(optimizer.vx(), optimizer.vy());
+
+    {
+      std::optional<ScopedPhase> phase;
+      if (breakdown_) phase.emplace(*breakdown_, "placement: density");
+      density_.update(design_);
+    }
+    const double overflow = density_.overflow(design_);
+
+    // γ anneals with overflow: smooth early, HPWL-accurate late.
+    const double gamma =
+        options_.gamma_base_bins * bin_w *
+        (0.1 + options_.gamma_overflow_factor * std::min(1.0, overflow));
+    wirelength_.set_gamma(gamma);
+
+    std::fill(gx_cell.begin(), gx_cell.end(), 0.0);
+    std::fill(gy_cell.begin(), gy_cell.end(), 0.0);
+    double wa_wl = 0.0;
+    {
+      std::optional<ScopedPhase> phase;
+      if (breakdown_) phase.emplace(*breakdown_, "placement: wirelength");
+      wa_wl = wirelength_.evaluate_with_grad(design_, gx_cell, gy_cell);
+    }
+
+    std::fill(dgx_cell.begin(), dgx_cell.end(), 0.0);
+    std::fill(dgy_cell.begin(), dgy_cell.end(), 0.0);
+    density_.add_gradient(design_, 1.0, dgx_cell, dgy_cell);
+    const double wl_norm = abs_sum(gx_cell, gy_cell);
+    const double d_norm = abs_sum(dgx_cell, dgy_cell);
+    const double lambda = d_norm > 0.0 ? ratio * wl_norm / d_norm : 0.0;
+    for (std::size_t i = 0; i < gx_cell.size(); ++i) {
+      gx_cell[i] += lambda * dgx_cell[i];
+      gy_cell[i] += lambda * dgy_cell[i];
+    }
+    // Jacobi preconditioning (DREAMPlace): normalize each cell's gradient
+    // by its wirelength stake (pin count) + λ-weighted density stake
+    // (area), which evens out per-cell step sizes.
+    for (const CellId cid : design_.movable_cells()) {
+      const std::size_t i = static_cast<std::size_t>(cid);
+      const double precond =
+          std::max(1.0, pin_count_[i] + lambda * design_.cell(cid).area() / bin_area_);
+      gx_cell[i] /= precond;
+      gy_cell[i] /= precond;
+    }
+
+    double penalty_value = 0.0;
+    if (penalty_) {
+      penalty_value = penalty_(design_, iter, gx_cell, gy_cell);
+    }
+
+    gather_movable(design_, gx_cell, gy_cell, gx, gy);
+    const double step = optimizer.step(gx, gy, options_.max_move_bins * bin_w);
+
+    IterationStats stats;
+    stats.iteration = iter;
+    stats.wa_wirelength = wa_wl;
+    stats.hpwl = design_.hpwl();
+    stats.overflow = overflow;
+    stats.lambda = lambda;
+    stats.penalty = penalty_value;
+    stats.step_size = step;
+    result.history.push_back(stats);
+    if (observer_) observer_(design_, stats);
+
+    if (iter % 50 == 0) {
+      LACO_LOG_INFO << design_.name() << " iter " << iter << " hpwl=" << stats.hpwl
+                    << " overflow=" << overflow << " lambda=" << lambda;
+    }
+
+    // Adaptive ramp: raise the density pressure while spreading has
+    // stalled, hold it while overflow is actively dropping. This smooths
+    // the clump→spread transition that a pure time-based ramp turns into
+    // one violent burst.
+    const double overflow_drop = prev_overflow - overflow;
+    if (overflow_drop < 0.004) {
+      ratio = std::min(ratio * options_.lambda_mult, options_.lambda_ratio_cap);
+    }
+    prev_overflow = overflow;
+
+    if (overflow < options_.target_overflow && iter >= options_.min_iterations) {
+      result.converged = true;
+      result.iterations = iter + 1;
+      break;
+    }
+    // Stagnation stop: the density pressure is maxed out and overflow has
+    // hit its (bin-granularity) floor — further iterations only churn.
+    if (overflow < best_overflow - 1e-3) {
+      best_overflow = overflow;
+      best_overflow_iter = iter;
+    }
+    if (options_.stall_window > 0 && ratio >= options_.lambda_ratio_cap &&
+        iter - best_overflow_iter > options_.stall_window && iter >= options_.min_iterations) {
+      result.iterations = iter + 1;
+      LACO_LOG_INFO << design_.name() << " stopping on overflow stagnation at iter " << iter;
+      break;
+    }
+  }
+  if (result.iterations == 0) result.iterations = options_.max_iterations;
+
+  // Leave the design at the major (u) sequence? v is the last synced
+  // point; re-sync to the final iterate for deterministic output.
+  design_.set_movable_positions(optimizer.vx(), optimizer.vy());
+  result.final_hpwl = design_.hpwl();
+  result.final_overflow = density_.overflow(design_);
+  return result;
+}
+
+}  // namespace laco

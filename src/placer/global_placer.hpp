@@ -1,0 +1,98 @@
+// The global placement driver: minimizes
+//   Σ_e W_e(x, y) + λ·D(x, y) [+ η·L(x, y)]        (paper Eqs. 1 and 8)
+// with Nesterov + BB steps, λ ramped each iteration so density
+// gradually dominates — the iterative spreading whose distribution
+// shift the LACO paper studies.
+//
+// The congestion penalty L is injected through a hook so the same
+// driver runs plain DREAMPlace, DREAM-Cong, and LACO configurations.
+// An observer hook receives the design after every iteration (feature
+// snapshots, Fig. 1 statistics, training data collection).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "placer/density.hpp"
+#include "placer/wirelength.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace laco {
+
+struct IterationStats {
+  int iteration = 0;
+  double wa_wirelength = 0.0;
+  double hpwl = 0.0;
+  double overflow = 1.0;
+  double lambda = 0.0;
+  double penalty = 0.0;   ///< congestion penalty value (0 when disabled)
+  double step_size = 0.0;
+};
+
+struct GlobalPlacerOptions {
+  int bin_nx = 64;
+  int bin_ny = 64;
+  int max_iterations = 600;
+  int min_iterations = 100;
+  double target_overflow = 0.08;
+  double lambda_init_ratio = 1e-2;  ///< initial density/wirelength gradient ratio
+  double lambda_mult = 1.03;        ///< ratio ramp per iteration
+  double lambda_ratio_cap = 30.0;   ///< max density/wirelength gradient ratio
+  double max_move_bins = 1.0;       ///< trust region: max move per iter (bins)
+  double gamma_base_bins = 1.0;     ///< γ = bins·bin_w·(0.1 + factor·overflow)
+  double gamma_overflow_factor = 4.0;
+  WirelengthKind wirelength_kind = WirelengthKind::kWeightedAverage;
+  bool center_init = true;          ///< start all movables near the core center
+  double init_noise_frac = 0.02;    ///< noise stddev as fraction of core width
+  /// Stop early when the density ratio is at its cap and overflow has
+  /// not improved for this many iterations (0 disables).
+  int stall_window = 50;
+  unsigned seed = 7;
+};
+
+struct PlacementResult {
+  int iterations = 0;
+  double final_hpwl = 0.0;
+  double final_overflow = 1.0;
+  bool converged = false;
+  std::vector<IterationStats> history;
+};
+
+class GlobalPlacer {
+ public:
+  /// Penalty hook: called with the design synced to the current
+  /// positions; returns the penalty value and *accumulates* the already-
+  /// weighted gradient η·∇L into the CellId-indexed buffers.
+  using PenaltyHook = std::function<double(const Design&, int iteration,
+                                           std::vector<double>& grad_x,
+                                           std::vector<double>& grad_y)>;
+  using Observer = std::function<void(const Design&, const IterationStats&)>;
+
+  GlobalPlacer(Design& design, GlobalPlacerOptions options);
+
+  void set_penalty_hook(PenaltyHook hook) { penalty_ = std::move(hook); }
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  /// Phase timings are recorded here when set (Fig. 8 reproduction).
+  void set_runtime_breakdown(RuntimeBreakdown* breakdown) { breakdown_ = breakdown; }
+
+  PlacementResult run();
+
+  const DensityModel& density_model() const { return density_; }
+
+ private:
+  void initialize_positions(std::vector<double>& x, std::vector<double>& y);
+
+  Design& design_;
+  GlobalPlacerOptions options_;
+  DensityModel density_;
+  WirelengthModel wirelength_;
+  PenaltyHook penalty_;
+  Observer observer_;
+  RuntimeBreakdown* breakdown_ = nullptr;
+  std::vector<double> pin_count_;  ///< per-cell pin counts (preconditioner)
+  double bin_area_ = 1.0;
+};
+
+}  // namespace laco

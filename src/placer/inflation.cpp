@@ -1,0 +1,74 @@
+#include "placer/inflation.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace laco {
+
+InflationResult run_inflation_placement(Design& design, const InflationOptions& options) {
+  InflationResult result;
+  const auto& movable = design.movable_cells();
+
+  // Original widths, restored on exit; factors accumulate across rounds.
+  std::vector<double> base_width(movable.size());
+  std::vector<double> factor(movable.size(), 1.0);
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    base_width[i] = design.cell(movable[i]).width;
+  }
+  const auto apply_widths = [&]() {
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      Cell& cell = design.cell(movable[i]);
+      const Point c = cell.center();
+      cell.width = base_width[i] * factor[i];
+      cell.x = c.x - cell.width * 0.5;  // keep the center fixed
+    }
+  };
+
+  GlobalPlacerOptions placer_options = options.placer;
+  for (int round = 0; round < options.rounds; ++round) {
+    {
+      GlobalPlacer placer(design, placer_options);
+      result.last_placement = placer.run();
+    }
+    placer_options.center_init = false;  // warm start from here on
+
+    const RoutingResult routing = route_design(design, options.router);
+    result.overflow_per_round.push_back(routing.total_overflow_h + routing.total_overflow_v);
+    ++result.rounds_run;
+    LACO_LOG_INFO << "inflation round " << round << ": overflow "
+                  << result.overflow_per_round.back();
+    if (round + 1 == options.rounds) break;
+
+    // Grow cells that sit in over-utilized gcells.
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      const Cell& cell = design.cell(movable[i]);
+      const GridIndex g = routing.congestion.bin_of(cell.center());
+      const double utilization = routing.congestion.at(g.k, g.l);
+      if (utilization > options.utilization_threshold) {
+        factor[i] = std::min(options.max_inflation,
+                             factor[i] * (1.0 + options.growth_rate *
+                                                    (utilization - options.utilization_threshold)));
+      }
+    }
+    apply_widths();
+  }
+
+  // Deflate: restore true footprints, keep centers.
+  std::size_t inflated = 0;
+  double factor_sum = 0.0;
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    Cell& cell = design.cell(movable[i]);
+    const Point c = cell.center();
+    cell.width = base_width[i];
+    cell.x = c.x - cell.width * 0.5;
+    if (factor[i] > 1.0 + 1e-12) ++inflated;
+    factor_sum += factor[i];
+  }
+  result.inflated_fraction =
+      movable.empty() ? 0.0 : static_cast<double>(inflated) / static_cast<double>(movable.size());
+  result.mean_inflation = movable.empty() ? 1.0 : factor_sum / static_cast<double>(movable.size());
+  return result;
+}
+
+}  // namespace laco

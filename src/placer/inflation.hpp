@@ -1,0 +1,44 @@
+// Classic routability-driven placement via cell inflation — the
+// traditional congestion-optimization family the paper's introduction
+// contrasts with DNN-guided methods ("integrate global routing into
+// placement iterations and inflate cells according to the congestion
+// map", Sec. I). Implemented here as a baseline:
+//
+//   repeat R rounds:
+//     1. global placement (warm-started after round 1);
+//     2. global routing at the current placement → congestion map;
+//     3. inflate cells sitting in over-utilized gcells (width scaling,
+//        capped), so the density model reserves them more space.
+//
+// After the last round, cell sizes are restored (centers kept) so the
+// final legalization/evaluation sees true footprints.
+#pragma once
+
+#include "placer/global_placer.hpp"
+#include "router/global_router.hpp"
+
+namespace laco {
+
+struct InflationOptions {
+  int rounds = 3;              ///< GP→route→inflate iterations
+  double utilization_threshold = 0.85;  ///< inflate above this gcell utilization
+  double growth_rate = 0.8;    ///< width factor += rate·(utilization − threshold)
+  double max_inflation = 2.0;  ///< per-cell width-factor cap
+  GlobalPlacerOptions placer;
+  GlobalRouterConfig router;
+};
+
+struct InflationResult {
+  int rounds_run = 0;
+  double inflated_fraction = 0.0;  ///< movable cells with factor > 1
+  double mean_inflation = 1.0;     ///< average width factor after last round
+  PlacementResult last_placement;
+  /// Congestion totals per round (H+V overflow), to observe convergence.
+  std::vector<double> overflow_per_round;
+};
+
+/// Runs the inflation loop on `design` (mutating positions; cell sizes
+/// are restored before returning).
+InflationResult run_inflation_placement(Design& design, const InflationOptions& options);
+
+}  // namespace laco

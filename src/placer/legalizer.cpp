@@ -1,0 +1,234 @@
+#include "placer/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace laco {
+namespace {
+
+/// A maximal free interval of one row. Placed cells form one contiguous
+/// block [lo, hi); new cells extend the block on either side, which
+/// keeps both halves of a row usable even when the global placement is
+/// still clumped near the row center.
+struct Segment {
+  double xl, xh;
+  double lo, hi;  ///< occupied block; empty when lo == hi
+
+  bool empty() const { return lo >= hi; }
+  double free_left() const { return empty() ? xh - xl : lo - xl; }
+  double free_right() const { return empty() ? xh - xl : xh - hi; }
+};
+
+struct Row {
+  double y;
+  std::vector<Segment> segments;
+};
+
+/// Removes [cut.xl, cut.xh] from every segment of rows the cut overlaps
+/// vertically.
+void carve(std::vector<Row>& rows, const Rect& cut, double row_height) {
+  for (Row& row : rows) {
+    if (cut.yh <= row.y || cut.yl >= row.y + row_height) continue;
+    std::vector<Segment> updated;
+    for (const Segment& seg : row.segments) {
+      if (cut.xh <= seg.xl || cut.xl >= seg.xh) {
+        updated.push_back(seg);
+        continue;
+      }
+      if (cut.xl > seg.xl) updated.push_back({seg.xl, cut.xl, seg.xl, seg.xl});
+      if (cut.xh < seg.xh) updated.push_back({cut.xh, seg.xh, cut.xh, cut.xh});
+    }
+    row.segments = std::move(updated);
+  }
+}
+
+/// Rows covering `domain` (aligned to the core's row grid), with macros
+/// and all `exclusions` carved out.
+std::vector<Row> build_rows(const Design& design, const Rect& domain,
+                            const std::vector<Rect>& exclusions) {
+  const Rect& core = design.core();
+  const double rh = design.row_height();
+  const int first_row = std::max(0, static_cast<int>(std::ceil((domain.yl - core.yl) / rh - 1e-9)));
+  const int num_core_rows = std::max(1, static_cast<int>(std::floor(core.height() / rh)));
+  std::vector<Row> rows;
+  for (int r = first_row; r < num_core_rows; ++r) {
+    const double y = core.yl + r * rh;
+    if (y + rh > domain.yh + 1e-9) break;
+    const double xl = std::max(domain.xl, core.xl);
+    const double xh = std::min(domain.xh, core.xh);
+    if (xh - xl <= 0.0) continue;
+    rows.push_back({y, {{xl, xh, xl, xl}}});
+  }
+  for (const Cell& cell : design.cells()) {
+    if (cell.kind != CellKind::kMacro) continue;
+    carve(rows, cell.rect(), rh);
+  }
+  for (const Rect& r : exclusions) carve(rows, r, rh);
+  return rows;
+}
+
+/// Tetris placement of `order` into `rows`; updates `result`.
+void place_cells(Design& design, const std::vector<CellId>& order, std::vector<Row>& rows,
+                 const LegalizerOptions& options, LegalizeResult& result) {
+  if (rows.empty()) {
+    result.failed += order.size();
+    return;
+  }
+  const double rh = design.row_height();
+  const double rows_y0 = rows.front().y;
+  for (const CellId cid : order) {
+    Cell& cell = design.cell(cid);
+    const double tx = cell.x;
+    const double ty = cell.y;
+    const int target_row = static_cast<int>(
+        std::clamp(std::round((ty - rows_y0) / rh), 0.0, static_cast<double>(rows.size()) - 1.0));
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    Segment* best_seg = nullptr;
+    double best_x = 0.0, best_y = 0.0;
+    bool best_left = false;
+    const int max_radius = static_cast<int>(rows.size());
+    for (int radius = 0; radius <= max_radius; ++radius) {
+      if (best_seg != nullptr && radius > options.row_search_window) break;
+      for (const int dir : {-1, 1}) {
+        if (radius == 0 && dir == 1) continue;
+        const int r = target_row + dir * radius;
+        if (r < 0 || static_cast<std::size_t>(r) >= rows.size()) continue;
+        Row& row = rows[static_cast<std::size_t>(r)];
+        for (Segment& seg : row.segments) {
+          const auto consider = [&](double x, bool left_side) {
+            const double cost = std::abs(x - tx) + std::abs(row.y - ty);
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_seg = &seg;
+              best_x = x;
+              best_y = row.y;
+              best_left = left_side;
+            }
+          };
+          if (seg.free_right() >= cell.width) {
+            consider(std::clamp(tx, seg.empty() ? seg.xl : seg.hi, seg.xh - cell.width), false);
+          }
+          if (!seg.empty() && seg.free_left() >= cell.width) {
+            consider(std::clamp(tx, seg.xl, seg.lo - cell.width), true);
+          }
+        }
+      }
+    }
+    if (best_seg == nullptr) {
+      ++result.failed;
+      continue;
+    }
+    cell.x = best_x;
+    cell.y = best_y;
+    if (best_seg->empty()) {
+      best_seg->lo = best_x;
+      best_seg->hi = best_x + cell.width;
+    } else if (best_left) {
+      best_seg->lo = best_x;
+    } else {
+      best_seg->hi = best_x + cell.width;
+    }
+    ++result.placed;
+    const double disp = std::abs(best_x - tx) + std::abs(best_y - ty);
+    result.total_displacement += disp;
+    result.max_displacement = std::max(result.max_displacement, disp);
+  }
+}
+
+std::vector<CellId> sorted_by_x(const Design& design, std::vector<CellId> cells) {
+  std::sort(cells.begin(), cells.end(),
+            [&](CellId a, CellId b) { return design.cell(a).x < design.cell(b).x; });
+  return cells;
+}
+
+}  // namespace
+
+LegalizeResult legalize(Design& design, const LegalizerOptions& options) {
+  LegalizeResult result;
+
+  // Fence regions are exclusive: members legalize inside their fence,
+  // everyone else in the core minus all fences.
+  std::vector<Rect> fence_rects;
+  for (const Fence& fence : design.fences()) fence_rects.push_back(fence.region);
+
+  for (const Fence& fence : design.fences()) {
+    std::vector<Row> rows = build_rows(design, fence.region, {});
+    std::vector<CellId> members;
+    for (const CellId cid : fence.members) {
+      if (!design.cell(cid).fixed) members.push_back(cid);
+    }
+    place_cells(design, sorted_by_x(design, std::move(members)), rows, options, result);
+  }
+
+  std::vector<Row> rows = build_rows(design, design.core(), fence_rects);
+  std::vector<CellId> unfenced;
+  for (const CellId cid : design.movable_cells()) {
+    if (design.fence_of(cid) == kNoFence) unfenced.push_back(cid);
+  }
+  place_cells(design, sorted_by_x(design, std::move(unfenced)), rows, options, result);
+  return result;
+}
+
+std::size_t count_legality_violations(const Design& design) {
+  std::size_t violations = 0;
+  const Rect& core = design.core();
+  const double rh = design.row_height();
+  // Row alignment and core containment.
+  for (const CellId cid : design.movable_cells()) {
+    const Cell& cell = design.cell(cid);
+    const double row_offset = std::fmod(cell.y - core.yl, rh);
+    if (std::min(row_offset, rh - row_offset) > 1e-6) ++violations;
+    if (cell.x < core.xl - 1e-9 || cell.x + cell.width > core.xh + 1e-9 ||
+        cell.y < core.yl - 1e-9 || cell.y + cell.height > core.yh + 1e-9) {
+      ++violations;
+    }
+  }
+  // Pairwise overlap via a sweep over row buckets.
+  std::vector<std::vector<const Cell*>> by_row;
+  const int num_rows = std::max(1, static_cast<int>(std::floor(core.height() / rh)));
+  by_row.resize(static_cast<std::size_t>(num_rows));
+  for (const CellId cid : design.movable_cells()) {
+    const Cell& cell = design.cell(cid);
+    const int r = std::clamp(static_cast<int>((cell.y - core.yl) / rh), 0, num_rows - 1);
+    by_row[static_cast<std::size_t>(r)].push_back(&cell);
+  }
+  for (auto& row : by_row) {
+    std::sort(row.begin(), row.end(), [](const Cell* a, const Cell* b) { return a->x < b->x; });
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      if (row[i - 1]->x + row[i - 1]->width > row[i]->x + 1e-6) ++violations;
+    }
+  }
+  // Overlap with macros.
+  for (const CellId cid : design.movable_cells()) {
+    const Cell& cell = design.cell(cid);
+    for (const Cell& other : design.cells()) {
+      if (other.kind != CellKind::kMacro) continue;
+      if (overlap_area(cell.rect(), other.rect()) > 1e-9) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  // Fence containment / exclusivity.
+  for (const CellId cid : design.movable_cells()) {
+    const Cell& cell = design.cell(cid);
+    const FenceId fence = design.fence_of(cid);
+    if (fence != kNoFence) {
+      const Rect& region = design.fences()[static_cast<std::size_t>(fence)].region;
+      if (overlap_area(cell.rect(), region) < cell.area() - 1e-9) ++violations;
+    } else {
+      for (const Fence& f : design.fences()) {
+        if (overlap_area(cell.rect(), f.region) > 1e-9) {
+          ++violations;
+          break;
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace laco

@@ -1,0 +1,30 @@
+// Tetris-style legalization: snaps movable standard cells onto rows,
+// avoiding macro blockages and cell overlaps while minimizing
+// displacement from the global-placement solution. Completes the
+// GP → LG → DP flow (paper Sec. II-A) so routed metrics are measured on
+// overlap-free placements.
+#pragma once
+
+#include "netlist/design.hpp"
+
+namespace laco {
+
+struct LegalizerOptions {
+  int row_search_window = 6;  ///< rows above/below the target to consider
+};
+
+struct LegalizeResult {
+  std::size_t placed = 0;
+  std::size_t failed = 0;           ///< cells that found no slot (should be 0)
+  double total_displacement = 0.0;  ///< Σ manhattan moves
+  double max_displacement = 0.0;
+};
+
+LegalizeResult legalize(Design& design, const LegalizerOptions& options = {});
+
+/// Post-legalization validity check: every movable cell on a row, inside
+/// the core, no overlap with macros or other cells. Returns the number
+/// of violations (0 = legal).
+std::size_t count_legality_violations(const Design& design);
+
+}  // namespace laco

@@ -1,0 +1,67 @@
+#include "placer/nesterov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace laco {
+
+NesterovOptimizer::NesterovOptimizer(std::vector<double> x0, std::vector<double> y0,
+                                     double initial_step)
+    : ux_(x0), uy_(y0), vx_(std::move(x0)), vy_(std::move(y0)), initial_step_(initial_step) {
+  if (ux_.size() != uy_.size()) throw std::invalid_argument("NesterovOptimizer: size mismatch");
+}
+
+double NesterovOptimizer::step(const std::vector<double>& grad_x,
+                               const std::vector<double>& grad_y, double max_move) {
+  if (grad_x.size() != ux_.size() || grad_y.size() != uy_.size()) {
+    throw std::invalid_argument("NesterovOptimizer::step: gradient size mismatch");
+  }
+  // Barzilai–Borwein: alpha = |Δv| / |Δg| once two samples exist.
+  double alpha = initial_step_;
+  if (have_prev_) {
+    double dv2 = 0.0, dg2 = 0.0;
+    for (std::size_t i = 0; i < ux_.size(); ++i) {
+      const double dvx = vx_[i] - prev_vx_[i];
+      const double dvy = vy_[i] - prev_vy_[i];
+      const double dgx = grad_x[i] - prev_gx_[i];
+      const double dgy = grad_y[i] - prev_gy_[i];
+      dv2 += dvx * dvx + dvy * dvy;
+      dg2 += dgx * dgx + dgy * dgy;
+    }
+    if (dg2 > 1e-30 && dv2 > 0.0) {
+      alpha = std::sqrt(dv2 / dg2);
+    }
+  }
+  alpha *= step_scale_;
+
+  // Trust region: cap the largest coordinate move this iteration, which
+  // keeps the high-λ end game stable.
+  double gmax = 0.0;
+  for (std::size_t i = 0; i < grad_x.size(); ++i) {
+    gmax = std::max({gmax, std::abs(grad_x[i]), std::abs(grad_y[i])});
+  }
+  if (gmax > 0.0 && alpha * gmax > max_move) alpha = max_move / gmax;
+
+  prev_vx_ = vx_;
+  prev_vy_ = vy_;
+  prev_gx_ = grad_x;
+  prev_gy_ = grad_y;
+  have_prev_ = true;
+
+  const double a_next = (1.0 + std::sqrt(4.0 * a_ * a_ + 1.0)) * 0.5;
+  const double coef = (a_ - 1.0) / a_next;
+  a_ = a_next;
+
+  for (std::size_t i = 0; i < ux_.size(); ++i) {
+    const double new_ux = vx_[i] - alpha * grad_x[i];
+    const double new_uy = vy_[i] - alpha * grad_y[i];
+    vx_[i] = new_ux + coef * (new_ux - ux_[i]);
+    vy_[i] = new_uy + coef * (new_uy - uy_[i]);
+    ux_[i] = new_ux;
+    uy_[i] = new_uy;
+  }
+  return alpha;
+}
+
+}  // namespace laco

@@ -1,0 +1,43 @@
+// Nesterov accelerated gradient with Barzilai–Borwein step estimation —
+// the optimizer DREAMPlace uses for Eq. (1). The caller evaluates the
+// objective gradient at the look-ahead point v_k; step() advances the
+// major sequence u_k and returns the step length it used.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace laco {
+
+class NesterovOptimizer {
+ public:
+  /// Starts from (x0, y0); `initial_step` is used before two gradient
+  /// samples exist for the BB estimate (units: layout distance per unit
+  /// gradient).
+  NesterovOptimizer(std::vector<double> x0, std::vector<double> y0, double initial_step);
+
+  /// The look-ahead point at which the caller must evaluate gradients.
+  const std::vector<double>& vx() const { return vx_; }
+  const std::vector<double>& vy() const { return vy_; }
+
+  /// Consumes the gradient at (vx, vy), advances, returns the step used.
+  /// `max_move` caps the largest single-coordinate displacement this
+  /// iteration (trust region); pass +inf to disable.
+  double step(const std::vector<double>& grad_x, const std::vector<double>& grad_y,
+              double max_move = std::numeric_limits<double>::infinity());
+
+  /// Rescales the next step (used when the placer detects divergence).
+  void damp(double factor) { step_scale_ *= factor; }
+
+ private:
+  std::vector<double> ux_, uy_;        // major sequence
+  std::vector<double> vx_, vy_;        // look-ahead sequence
+  std::vector<double> prev_vx_, prev_vy_;
+  std::vector<double> prev_gx_, prev_gy_;
+  double a_ = 1.0;                     // Nesterov momentum sequence
+  double initial_step_;
+  double step_scale_ = 1.0;
+  bool have_prev_ = false;
+};
+
+}  // namespace laco

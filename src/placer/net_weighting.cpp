@@ -1,0 +1,66 @@
+#include "placer/net_weighting.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace laco {
+
+NetWeightingResult run_net_weighting_placement(Design& design,
+                                               const NetWeightingOptions& options) {
+  NetWeightingResult result;
+
+  std::vector<double> base_weight(design.num_nets());
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    base_weight[n] = design.net(static_cast<NetId>(n)).weight;
+  }
+
+  GlobalPlacerOptions placer_options = options.placer;
+  for (int round = 0; round < options.rounds; ++round) {
+    {
+      GlobalPlacer placer(design, placer_options);
+      result.last_placement = placer.run();
+    }
+    placer_options.center_init = false;  // warm start from here on
+
+    const RoutingResult routing = route_design(design, options.router);
+    result.overflow_per_round.push_back(routing.total_overflow_h + routing.total_overflow_v);
+    ++result.rounds_run;
+    LACO_LOG_INFO << "net weighting round " << round << ": overflow "
+                  << result.overflow_per_round.back();
+    if (round + 1 == options.rounds) break;
+
+    // Reweight nets whose bounding box touches congested gcells.
+    for (std::size_t n = 0; n < design.num_nets(); ++n) {
+      Net& net = design.net(static_cast<NetId>(n));
+      if (net.degree() < 2) continue;
+      const Rect bb = net_bbox(design, net);
+      int k0, k1, l0, l1;
+      routing.congestion.bin_range(bb, k0, k1, l0, l1);
+      double worst = 0.0;
+      for (int l = l0; l <= l1; ++l) {
+        for (int k = k0; k <= k1; ++k) worst = std::max(worst, routing.congestion.at(k, l));
+      }
+      if (worst > options.utilization_threshold) {
+        net.weight = std::min(
+            options.max_weight * base_weight[n],
+            net.weight * (1.0 + options.growth_rate * (worst - options.utilization_threshold)));
+      }
+    }
+  }
+
+  std::size_t reweighted = 0;
+  double weight_sum = 0.0;
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    Net& net = design.net(static_cast<NetId>(n));
+    if (net.weight > base_weight[n] + 1e-12) ++reweighted;
+    weight_sum += base_weight[n] > 0.0 ? net.weight / base_weight[n] : 1.0;
+    net.weight = base_weight[n];  // restore the original objective
+  }
+  result.reweighted_fraction =
+      design.num_nets() ? static_cast<double>(reweighted) / design.num_nets() : 0.0;
+  result.mean_weight = design.num_nets() ? weight_sum / design.num_nets() : 1.0;
+  return result;
+}
+
+}  // namespace laco

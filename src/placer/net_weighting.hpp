@@ -1,0 +1,45 @@
+// Congestion-driven net weighting — the second classic routability
+// family the paper's introduction references (alongside cell inflation):
+// after routing, nets that cross congested regions get their wirelength
+// weight increased, so the next placement round pulls them tighter and
+// routes them shorter. Complements inflation (which makes *cells*
+// bigger) by making *nets* more expensive.
+//
+//   repeat R rounds:
+//     1. global placement (warm-started after round 1);
+//     2. global routing → per-gcell utilization;
+//     3. for each net, weight ×= 1 + rate·max(0, max-utilization-on-its
+//        bbox − threshold), capped.
+//
+// Net weights are restored before returning so later evaluations use the
+// original objective.
+#pragma once
+
+#include "placer/global_placer.hpp"
+#include "router/global_router.hpp"
+
+namespace laco {
+
+struct NetWeightingOptions {
+  int rounds = 3;
+  double utilization_threshold = 0.85;
+  double growth_rate = 1.0;   ///< weight factor per unit excess utilization
+  double max_weight = 4.0;    ///< per-net weight cap
+  GlobalPlacerOptions placer;
+  GlobalRouterConfig router;
+};
+
+struct NetWeightingResult {
+  int rounds_run = 0;
+  double reweighted_fraction = 0.0;  ///< nets with weight > original
+  double mean_weight = 1.0;
+  PlacementResult last_placement;
+  std::vector<double> overflow_per_round;
+};
+
+/// Runs the reweighting loop on `design` (positions mutate; net weights
+/// are restored before returning).
+NetWeightingResult run_net_weighting_placement(Design& design,
+                                               const NetWeightingOptions& options);
+
+}  // namespace laco

@@ -1,0 +1,120 @@
+#include "placer/poisson.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace laco {
+
+PoissonSolver::PoissonSolver(int nx, int ny, double lx, double ly)
+    : nx_(nx), ny_(ny), lx_(lx), ly_(ly) {
+  if (nx <= 0 || ny <= 0 || lx <= 0.0 || ly <= 0.0) {
+    throw std::invalid_argument("PoissonSolver: non-positive dimensions");
+  }
+  cos_x_.resize(static_cast<std::size_t>(nx) * nx);
+  sin_x_.resize(static_cast<std::size_t>(nx) * nx);
+  cos_y_.resize(static_cast<std::size_t>(ny) * ny);
+  sin_y_.resize(static_cast<std::size_t>(ny) * ny);
+  wu_.resize(static_cast<std::size_t>(nx));
+  wv_.resize(static_cast<std::size_t>(ny));
+  for (int u = 0; u < nx; ++u) {
+    wu_[static_cast<std::size_t>(u)] = std::numbers::pi * u / lx;
+    for (int k = 0; k < nx; ++k) {
+      const double arg = std::numbers::pi * u * (k + 0.5) / nx;
+      cos_x_[static_cast<std::size_t>(u) * nx + k] = std::cos(arg);
+      sin_x_[static_cast<std::size_t>(u) * nx + k] = std::sin(arg);
+    }
+  }
+  for (int v = 0; v < ny; ++v) {
+    wv_[static_cast<std::size_t>(v)] = std::numbers::pi * v / ly;
+    for (int l = 0; l < ny; ++l) {
+      const double arg = std::numbers::pi * v * (l + 0.5) / ny;
+      cos_y_[static_cast<std::size_t>(v) * ny + l] = std::cos(arg);
+      sin_y_[static_cast<std::size_t>(v) * ny + l] = std::sin(arg);
+    }
+  }
+}
+
+PoissonSolver::Solution PoissonSolver::solve(const std::vector<double>& density) const {
+  const std::size_t n = static_cast<std::size_t>(nx_) * ny_;
+  if (density.size() != n) throw std::invalid_argument("PoissonSolver::solve: size mismatch");
+
+  // Forward DCT-II along x: tmp[v-run later] — first transform rows.
+  // A[u][l] = sum_k density[l][k] * cos_x[u][k]
+  std::vector<double> a_ul(static_cast<std::size_t>(nx_) * ny_, 0.0);
+  for (int l = 0; l < ny_; ++l) {
+    for (int u = 0; u < nx_; ++u) {
+      double acc = 0.0;
+      const double* cx = &cos_x_[static_cast<std::size_t>(u) * nx_];
+      const double* row = &density[static_cast<std::size_t>(l) * nx_];
+      for (int k = 0; k < nx_; ++k) acc += row[k] * cx[k];
+      a_ul[static_cast<std::size_t>(u) * ny_ + l] = acc;
+    }
+  }
+  // Then columns: B[u][v] = sum_l A[u][l] * cos_y[v][l], with DCT-III
+  // normalization folded in: b_uv = alpha_u alpha_v B[u][v],
+  // alpha_0 = 1/N, alpha_{>0} = 2/N.
+  std::vector<double> b_uv(static_cast<std::size_t>(nx_) * ny_, 0.0);
+  for (int u = 0; u < nx_; ++u) {
+    const double au = (u == 0 ? 1.0 : 2.0) / nx_;
+    for (int v = 0; v < ny_; ++v) {
+      const double av = (v == 0 ? 1.0 : 2.0) / ny_;
+      double acc = 0.0;
+      const double* cy = &cos_y_[static_cast<std::size_t>(v) * ny_];
+      const double* row = &a_ul[static_cast<std::size_t>(u) * ny_];
+      for (int l = 0; l < ny_; ++l) acc += row[l] * cy[l];
+      b_uv[static_cast<std::size_t>(u) * ny_ + v] = au * av * acc;
+    }
+  }
+
+  // Spectral coefficients for potential and field.
+  std::vector<double> p_uv(b_uv.size(), 0.0);   // psi coefficients
+  std::vector<double> fx_uv(b_uv.size(), 0.0);  // E_x coefficients (sin-cos basis)
+  std::vector<double> fy_uv(b_uv.size(), 0.0);  // E_y coefficients (cos-sin basis)
+  for (int u = 0; u < nx_; ++u) {
+    for (int v = 0; v < ny_; ++v) {
+      if (u == 0 && v == 0) continue;
+      const double w2 = wu_[static_cast<std::size_t>(u)] * wu_[static_cast<std::size_t>(u)] +
+                        wv_[static_cast<std::size_t>(v)] * wv_[static_cast<std::size_t>(v)];
+      const double p = b_uv[static_cast<std::size_t>(u) * ny_ + v] / w2;
+      p_uv[static_cast<std::size_t>(u) * ny_ + v] = p;
+      fx_uv[static_cast<std::size_t>(u) * ny_ + v] = p * wu_[static_cast<std::size_t>(u)];
+      fy_uv[static_cast<std::size_t>(u) * ny_ + v] = p * wv_[static_cast<std::size_t>(v)];
+    }
+  }
+
+  // Synthesis helper: out[l][k] = sum_{u,v} coeff[u][v] * bx[u][k] * by[v][l].
+  const auto synthesize = [&](const std::vector<double>& coeff, const std::vector<double>& bx,
+                              const std::vector<double>& by, std::vector<double>& out) {
+    // First contract over v: T[u][l] = sum_v coeff[u][v] by[v][l].
+    std::vector<double> t(static_cast<std::size_t>(nx_) * ny_, 0.0);
+    for (int u = 0; u < nx_; ++u) {
+      for (int v = 0; v < ny_; ++v) {
+        const double c = coeff[static_cast<std::size_t>(u) * ny_ + v];
+        if (c == 0.0) continue;
+        const double* byrow = &by[static_cast<std::size_t>(v) * ny_];
+        double* trow = &t[static_cast<std::size_t>(u) * ny_];
+        for (int l = 0; l < ny_; ++l) trow[l] += c * byrow[l];
+      }
+    }
+    out.assign(static_cast<std::size_t>(nx_) * ny_, 0.0);
+    for (int u = 0; u < nx_; ++u) {
+      const double* bxrow = &bx[static_cast<std::size_t>(u) * nx_];
+      const double* trow = &t[static_cast<std::size_t>(u) * ny_];
+      for (int l = 0; l < ny_; ++l) {
+        const double tv = trow[l];
+        if (tv == 0.0) continue;
+        double* orow = &out[static_cast<std::size_t>(l) * nx_];
+        for (int k = 0; k < nx_; ++k) orow[k] += tv * bxrow[k];
+      }
+    }
+  };
+
+  Solution sol;
+  synthesize(p_uv, cos_x_, cos_y_, sol.potential);
+  synthesize(fx_uv, sin_x_, cos_y_, sol.field_x);
+  synthesize(fy_uv, cos_x_, sin_y_, sol.field_y);
+  return sol;
+}
+
+}  // namespace laco

@@ -1,0 +1,43 @@
+// Spectral Poisson solver for the electrostatic density model (ePlace /
+// DREAMPlace). Solves ∇²ψ = −ρ with Neumann boundary conditions on the
+// core region via a 2-D DCT expansion:
+//   ρ(k,l)  = Σ_{u,v} b_uv cos(w_u x_k) cos(w_v y_l)
+//   ψ(k,l)  = Σ'      b_uv / (w_u² + w_v²) · cos cos      (b_00 dropped)
+//   E_x(k,l)= Σ'      b_uv · w_u / (w_u² + w_v²) · sin cos
+//   E_y(k,l)= Σ'      b_uv · w_v / (w_u² + w_v²) · cos sin
+// with w_u = πu/Lx, w_v = πv/Ly, sampled at bin centers. The transforms
+// use precomputed cosine/sine matrices (O(N³), fast at placement bin
+// resolutions).
+#pragma once
+
+#include <vector>
+
+namespace laco {
+
+class PoissonSolver {
+ public:
+  /// Grid of nx × ny bins over a region of physical size lx × ly.
+  PoissonSolver(int nx, int ny, double lx, double ly);
+
+  struct Solution {
+    std::vector<double> potential;  ///< ψ, nx·ny row-major (l·nx + k)
+    std::vector<double> field_x;    ///< E_x = −∂ψ/∂x
+    std::vector<double> field_y;    ///< E_y = −∂ψ/∂y
+  };
+
+  /// density: nx·ny row-major. The mean (DC) component is implicitly
+  /// removed — pass ρ − ρ_target or raw ρ, the result is identical.
+  Solution solve(const std::vector<double>& density) const;
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+ private:
+  int nx_, ny_;
+  double lx_, ly_;
+  // Basis tables: cos_x_[u * nx + k] = cos(pi u (k+0.5) / nx), etc.
+  std::vector<double> cos_x_, sin_x_, cos_y_, sin_y_;
+  std::vector<double> wu_, wv_;  ///< angular frequencies
+};
+
+}  // namespace laco

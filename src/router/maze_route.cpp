@@ -1,0 +1,102 @@
+#include "router/maze_route.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace laco {
+
+RoutePath maze_route(const GridGraph& grid, GridIndex a, GridIndex b, int window) {
+  RoutePath out;
+  if (a == b) {
+    out.gcells = {a};
+    return out;
+  }
+  const int k0 = std::max(0, std::min(a.k, b.k) - window);
+  const int k1 = std::min(grid.nx() - 1, std::max(a.k, b.k) + window);
+  const int l0 = std::max(0, std::min(a.l, b.l) - window);
+  const int l1 = std::min(grid.ny() - 1, std::max(a.l, b.l) + window);
+  const int w = k1 - k0 + 1;
+  const int h = l1 - l0 + 1;
+  const auto idx = [&](int k, int l) {
+    return static_cast<std::size_t>(l - l0) * w + (k - k0);
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(w) * h, kInf);
+  std::vector<std::int8_t> parent(dist.size(), -1);  // 0:L 1:R 2:D 3:U (came-from move)
+
+  using QItem = std::pair<double, std::pair<int, int>>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+  dist[idx(a.k, a.l)] = 0.0;
+  queue.push({0.0, {a.k, a.l}});
+
+  while (!queue.empty()) {
+    const auto [d, kl] = queue.top();
+    queue.pop();
+    const auto [k, l] = kl;
+    if (d > dist[idx(k, l)]) continue;
+    if (k == b.k && l == b.l) break;
+    // Right
+    if (k + 1 <= k1) {
+      const double nd = d + grid.h_cost(k, l);
+      if (nd < dist[idx(k + 1, l)]) {
+        dist[idx(k + 1, l)] = nd;
+        parent[idx(k + 1, l)] = 0;
+        queue.push({nd, {k + 1, l}});
+      }
+    }
+    // Left
+    if (k - 1 >= k0) {
+      const double nd = d + grid.h_cost(k - 1, l);
+      if (nd < dist[idx(k - 1, l)]) {
+        dist[idx(k - 1, l)] = nd;
+        parent[idx(k - 1, l)] = 1;
+        queue.push({nd, {k - 1, l}});
+      }
+    }
+    // Up
+    if (l + 1 <= l1) {
+      const double nd = d + grid.v_cost(k, l);
+      if (nd < dist[idx(k, l + 1)]) {
+        dist[idx(k, l + 1)] = nd;
+        parent[idx(k, l + 1)] = 2;
+        queue.push({nd, {k, l + 1}});
+      }
+    }
+    // Down
+    if (l - 1 >= l0) {
+      const double nd = d + grid.v_cost(k, l - 1);
+      if (nd < dist[idx(k, l - 1)]) {
+        dist[idx(k, l - 1)] = nd;
+        parent[idx(k, l - 1)] = 3;
+        queue.push({nd, {k, l - 1}});
+      }
+    }
+  }
+
+  // Trace back from b.
+  std::vector<GridIndex> reverse_path;
+  int k = b.k, l = b.l;
+  if (dist[idx(k, l)] == kInf) {
+    // Window too tight (cannot happen with window ≥ 0 on a connected
+    // grid, but guard anyway): fall back to an L route.
+    return best_l_route(grid, a, b);
+  }
+  while (!(k == a.k && l == a.l)) {
+    reverse_path.push_back({k, l});
+    switch (parent[idx(k, l)]) {
+      case 0: --k; break;
+      case 1: ++k; break;
+      case 2: --l; break;
+      case 3: ++l; break;
+      default: return best_l_route(grid, a, b);  // corrupt trace guard
+    }
+  }
+  reverse_path.push_back({a.k, a.l});
+  out.gcells.assign(reverse_path.rbegin(), reverse_path.rend());
+  out.cost = dist[idx(b.k, b.l)];
+  return out;
+}
+
+}  // namespace laco

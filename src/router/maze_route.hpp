@@ -1,0 +1,15 @@
+// Congestion-aware maze routing (Dijkstra on the gcell graph) — the
+// escalation path for segments that pattern routing leaves overflowed.
+// Search is restricted to the segment's bounding box inflated by a
+// configurable window.
+#pragma once
+
+#include "router/pattern_route.hpp"
+
+namespace laco {
+
+/// Shortest congestion-cost path a→b, confined to bbox(a, b) inflated by
+/// `window` gcells. Returns an empty path only if a == b.
+RoutePath maze_route(const GridGraph& grid, GridIndex a, GridIndex b, int window = 8);
+
+}  // namespace laco

@@ -1,0 +1,74 @@
+#include "router/net_decomposition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace laco {
+
+std::vector<TwoPinSegment> decompose_net(const Design& design, const Net& net,
+                                         const GridGraph& grid, bool use_steiner) {
+  std::vector<GridIndex> nodes;
+  for (const PinId pid : net.pins) {
+    const GridIndex g = grid.gcell_of(design.pin_position(pid));
+    if (std::find(nodes.begin(), nodes.end(), g) == nodes.end()) nodes.push_back(g);
+  }
+  std::vector<TwoPinSegment> segments;
+  if (nodes.size() < 2) return segments;
+
+  if (use_steiner && nodes.size() == 3) {
+    // The optimal rectilinear Steiner point of three terminals is the
+    // per-axis median; a star through it is a minimal Steiner tree.
+    std::array<int, 3> xs{nodes[0].k, nodes[1].k, nodes[2].k};
+    std::array<int, 3> ys{nodes[0].l, nodes[1].l, nodes[2].l};
+    std::sort(xs.begin(), xs.end());
+    std::sort(ys.begin(), ys.end());
+    const GridIndex steiner{xs[1], ys[1]};
+    for (const GridIndex& node : nodes) {
+      if (!(node == steiner)) segments.push_back({steiner, node});
+    }
+    return segments;
+  }
+
+  // Prim's MST with Manhattan gcell distance.
+  const std::size_t n = nodes.size();
+  std::vector<bool> in_tree(n, false);
+  std::vector<int> best_dist(n, std::numeric_limits<int>::max());
+  std::vector<std::size_t> best_parent(n, 0);
+  in_tree[0] = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    best_dist[i] = std::abs(nodes[i].k - nodes[0].k) + std::abs(nodes[i].l - nodes[0].l);
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = n;
+    int pick_dist = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best_dist[i] < pick_dist) {
+        pick = i;
+        pick_dist = best_dist[i];
+      }
+    }
+    in_tree[pick] = true;
+    segments.push_back({nodes[best_parent[pick]], nodes[pick]});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const int d = std::abs(nodes[i].k - nodes[pick].k) + std::abs(nodes[i].l - nodes[pick].l);
+      if (d < best_dist[i]) {
+        best_dist[i] = d;
+        best_parent[i] = pick;
+      }
+    }
+  }
+  return segments;
+}
+
+int decomposition_length(const std::vector<TwoPinSegment>& segments) {
+  int total = 0;
+  for (const TwoPinSegment& s : segments) {
+    total += std::abs(s.a.k - s.b.k) + std::abs(s.a.l - s.b.l);
+  }
+  return total;
+}
+
+}  // namespace laco

@@ -1,0 +1,28 @@
+// Multi-pin net decomposition into 2-pin segments: a rectilinear
+// minimum spanning tree (Prim, Manhattan metric) over the net's pin
+// GCells, with an optional exact improvement for 3-terminal nets — the
+// rectilinear Steiner point at the coordinate medians, which makes the
+// 3-pin topology a minimal Steiner tree instead of an MST.
+#pragma once
+
+#include <vector>
+
+#include "router/grid_graph.hpp"
+
+namespace laco {
+
+struct TwoPinSegment {
+  GridIndex a;
+  GridIndex b;
+};
+
+/// Decomposition over unique pin gcells of `net` (empty for degree < 2
+/// or when all pins share one gcell). With `use_steiner`, 3-terminal
+/// nets route as a star through the median point.
+std::vector<TwoPinSegment> decompose_net(const Design& design, const Net& net,
+                                         const GridGraph& grid, bool use_steiner = true);
+
+/// Total Manhattan gcell length of a decomposition (tests/benches).
+int decomposition_length(const std::vector<TwoPinSegment>& segments);
+
+}  // namespace laco

@@ -1,0 +1,100 @@
+#include "router/pattern_route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace laco {
+namespace {
+
+/// Appends the straight run from `from` to (k, l) (exclusive of `from`,
+/// inclusive of destination) assuming a single-axis move.
+void append_run(std::vector<GridIndex>& path, GridIndex from, int k, int l) {
+  while (from.k != k) {
+    from.k += (k > from.k) ? 1 : -1;
+    path.push_back(from);
+  }
+  while (from.l != l) {
+    from.l += (l > from.l) ? 1 : -1;
+    path.push_back(from);
+  }
+}
+
+RoutePath make_path(const GridGraph& grid, GridIndex a, const std::vector<GridIndex>& bends,
+                    GridIndex b) {
+  RoutePath path;
+  path.gcells.push_back(a);
+  GridIndex cur = a;
+  for (const GridIndex& bend : bends) {
+    append_run(path.gcells, cur, bend.k, bend.l);
+    cur = bend;
+  }
+  append_run(path.gcells, cur, b.k, b.l);
+  path.cost = path_cost(grid, path);
+  return path;
+}
+
+}  // namespace
+
+double path_cost(const GridGraph& grid, const RoutePath& path) {
+  double cost = 0.0;
+  for (std::size_t i = 1; i < path.gcells.size(); ++i) {
+    const GridIndex& p = path.gcells[i - 1];
+    const GridIndex& q = path.gcells[i];
+    if (p.l == q.l) {
+      cost += grid.h_cost(std::min(p.k, q.k), p.l);
+    } else {
+      cost += grid.v_cost(p.k, std::min(p.l, q.l));
+    }
+  }
+  return cost;
+}
+
+double path_length(const GridGraph& grid, const RoutePath& path) {
+  double len = 0.0;
+  for (std::size_t i = 1; i < path.gcells.size(); ++i) {
+    len += (path.gcells[i - 1].l == path.gcells[i].l) ? grid.gcell_w() : grid.gcell_h();
+  }
+  return len;
+}
+
+void commit_path(GridGraph& grid, const RoutePath& path, double amount) {
+  for (std::size_t i = 1; i < path.gcells.size(); ++i) {
+    const GridIndex& p = path.gcells[i - 1];
+    const GridIndex& q = path.gcells[i];
+    if (p.l == q.l) {
+      grid.add_h_usage(std::min(p.k, q.k), p.l, amount);
+    } else {
+      grid.add_v_usage(p.k, std::min(p.l, q.l), amount);
+    }
+  }
+}
+
+RoutePath best_l_route(const GridGraph& grid, GridIndex a, GridIndex b) {
+  const RoutePath hv = make_path(grid, a, {{b.k, a.l}}, b);  // horizontal first
+  const RoutePath vh = make_path(grid, a, {{a.k, b.l}}, b);  // vertical first
+  return hv.cost <= vh.cost ? hv : vh;
+}
+
+RoutePath best_z_route(const GridGraph& grid, GridIndex a, GridIndex b, int max_candidates) {
+  RoutePath best = best_l_route(grid, a, b);
+  const int k_lo = std::min(a.k, b.k), k_hi = std::max(a.k, b.k);
+  const int l_lo = std::min(a.l, b.l), l_hi = std::max(a.l, b.l);
+  // HVH: go to column m, vertical, then to b.
+  const int k_span = k_hi - k_lo;
+  const int k_step = std::max(1, k_span / std::max(1, max_candidates));
+  for (int m = k_lo + 1; m < k_hi; m += k_step) {
+    RoutePath cand = make_path(grid, a, {{m, a.l}, {m, b.l}}, b);
+    if (cand.cost < best.cost) best = std::move(cand);
+  }
+  // VHV: go to row m, horizontal, then to b.
+  const int l_span = l_hi - l_lo;
+  const int l_step = std::max(1, l_span / std::max(1, max_candidates));
+  for (int m = l_lo + 1; m < l_hi; m += l_step) {
+    RoutePath cand = make_path(grid, a, {{a.k, m}, {b.k, m}}, b);
+    if (cand.cost < best.cost) best = std::move(cand);
+  }
+  return best;
+}
+
+}  // namespace laco

@@ -1,0 +1,96 @@
+#include "train/congestion_trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "nn/optimizer.hpp"
+#include "util/logging.hpp"
+
+namespace laco {
+
+std::vector<CongestionSample> build_dreamcong_samples(const std::vector<PlacementTrace>& traces,
+                                                      const FeatureScale& scale) {
+  std::vector<CongestionSample> samples;
+  for (const PlacementTrace& trace : traces) {
+    if (trace.snapshots.empty()) continue;
+    CongestionSample sample;
+    sample.input = frame_to_tensor(trace.snapshots.back().frame, scale, 3);
+    sample.label = gridmap_to_tensor(trace.congestion_label);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+FeatureScale fit_congestion_scale(const std::vector<PlacementTrace>& traces) {
+  std::vector<const FeatureFrame*> frames;
+  for (const PlacementTrace& trace : traces) {
+    for (const Snapshot& snap : trace.snapshots) frames.push_back(&snap.frame);
+  }
+  return compute_feature_scale(frames);
+}
+
+TrainHistory train_congestion(CongestionFcn& model, const std::vector<CongestionSample>& samples,
+                              const CongestionTrainerConfig& config) {
+  TrainHistory history;
+  if (samples.empty()) return history;
+
+  // Optional validation split: deterministic tail of the sample list.
+  std::size_t train_count = samples.size();
+  std::vector<CongestionSample> validation;
+  if (config.validation_fraction > 0.0 && samples.size() >= 4) {
+    const std::size_t val_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.validation_fraction * samples.size()));
+    train_count = samples.size() - val_count;
+    validation.assign(samples.begin() + static_cast<std::ptrdiff_t>(train_count), samples.end());
+  }
+
+  nn::Adam optimizer(model.parameters(), config.lr);
+  std::mt19937 rng(config.seed);
+  std::vector<std::size_t> order(train_count);
+  std::iota(order.begin(), order.end(), 0);
+  const int batch = std::max(1, config.batch_size);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size(); start += static_cast<std::size_t>(batch)) {
+      const std::size_t end = std::min(order.size(), start + static_cast<std::size_t>(batch));
+      std::vector<nn::Tensor> inputs, labels;
+      for (std::size_t j = start; j < end; ++j) {
+        inputs.push_back(samples[order[j]].input);
+        labels.push_back(samples[order[j]].label);
+      }
+      optimizer.zero_grad();
+      nn::Tensor input = inputs.size() == 1 ? inputs[0] : nn::stack_batch(inputs);
+      nn::Tensor label = labels.size() == 1 ? labels[0] : nn::stack_batch(labels);
+      nn::Tensor loss = nn::mse_loss(model.forward(input), label);
+      loss.backward();
+      optimizer.step();
+      epoch_loss += loss.item() * static_cast<double>(end - start);
+    }
+    epoch_loss /= static_cast<double>(order.size());
+    history.epoch_losses.push_back(epoch_loss);
+    if (!validation.empty()) {
+      history.val_losses.push_back(evaluate_congestion(model, validation));
+    }
+    LACO_LOG_INFO << "congestion epoch " << epoch << " loss " << epoch_loss
+                  << (validation.empty()
+                          ? ""
+                          : " val " + std::to_string(history.val_losses.back()));
+  }
+  return history;
+}
+
+double evaluate_congestion(const CongestionFcn& model,
+                           const std::vector<CongestionSample>& samples) {
+  if (samples.empty()) return 0.0;
+  nn::NoGradGuard guard;
+  double total = 0.0;
+  for (const CongestionSample& sample : samples) {
+    total += nn::mse_loss(model.forward(sample.input), sample.label).item();
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+}  // namespace laco

@@ -1,0 +1,44 @@
+// Trainer for the congestion prediction model f. Samples are prepared
+// by the caller (scheme-dependent input assembly lives in laco/pipeline)
+// and the label is always the routed congestion map of the trace's final
+// placement — matching the paper's training protocol where ground truth
+// comes from global routing of completed placements.
+#pragma once
+
+#include <vector>
+
+#include "models/congestion_fcn.hpp"
+#include "models/model_io.hpp"
+#include "train/dataset.hpp"
+#include "train/lookahead_trainer.hpp"  // TrainHistory
+
+namespace laco {
+
+struct CongestionSample {
+  nn::Tensor input;  ///< [1, Cin, H, W]
+  nn::Tensor label;  ///< [1, 1, H, W]
+};
+
+struct CongestionTrainerConfig {
+  int epochs = 15;
+  float lr = 1e-3f;
+  int batch_size = 1;             ///< samples stacked per optimizer step
+  double validation_fraction = 0.0;  ///< held-out tail of the sample list
+  unsigned seed = 13;
+};
+
+/// DREAM-Cong protocol: end-of-placement 3-channel features → label.
+std::vector<CongestionSample> build_dreamcong_samples(const std::vector<PlacementTrace>& traces,
+                                                      const FeatureScale& scale);
+
+/// Feature scale fitted on the traces' full-resolution frames.
+FeatureScale fit_congestion_scale(const std::vector<PlacementTrace>& traces);
+
+TrainHistory train_congestion(CongestionFcn& model, const std::vector<CongestionSample>& samples,
+                              const CongestionTrainerConfig& config);
+
+/// Mean MSE over samples (no grad).
+double evaluate_congestion(const CongestionFcn& model,
+                           const std::vector<CongestionSample>& samples);
+
+}  // namespace laco

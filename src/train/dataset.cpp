@@ -1,0 +1,52 @@
+#include "train/dataset.hpp"
+
+#include <functional>
+
+#include "netlist/ispd2015_suite.hpp"
+#include "util/logging.hpp"
+
+namespace laco {
+
+PlacementTrace collect_trace(Design& design, const TraceCollectionConfig& config) {
+  PlacementTrace trace;
+  trace.design_name = design.name();
+  trace.spacing = config.snapshot.spacing;
+
+  SnapshotCollector collector(config.snapshot);
+  GlobalPlacer placer(design, config.placer);
+  placer.set_observer(std::ref(collector));
+  const PlacementResult result = placer.run();
+  trace.final_overflow = result.final_overflow;
+
+  // Label: legalize + detailed-place + route the final placement.
+  const PlacementEvaluation eval = evaluate_placement(design, config.router);
+  trace.final_hpwl = eval.hpwl;
+  trace.congestion_label = eval.routing.congestion;
+  trace.snapshots = std::move(collector.snapshots());
+  return trace;
+}
+
+std::vector<PlacementTrace> collect_traces(const std::vector<std::string>& design_names,
+                                           double scale, int runs_per_design,
+                                           const TraceCollectionConfig& config) {
+  std::vector<PlacementTrace> traces;
+  for (const std::string& name : design_names) {
+    for (int run = 0; run < runs_per_design; ++run) {
+      Design design = make_ispd2015_analog(name, scale, static_cast<std::uint64_t>(run));
+      TraceCollectionConfig run_config = config;
+      // The paper generates its 100 solutions per design "with different
+      // parameters": jitter the placer seed and its main knobs per run.
+      Rng jitter(config.placer.seed + static_cast<unsigned>(run * 977 + 1));
+      run_config.placer.seed = static_cast<unsigned>(jitter.engine()());
+      run_config.placer.target_overflow *= jitter.uniform(0.85, 1.2);
+      run_config.placer.lambda_mult = 1.0 + (config.placer.lambda_mult - 1.0) * jitter.uniform(0.8, 1.3);
+      run_config.placer.gamma_overflow_factor *= jitter.uniform(0.8, 1.25);
+      run_config.placer.init_noise_frac *= jitter.uniform(0.5, 2.0);
+      LACO_LOG_INFO << "collect_trace " << name << " run " << run;
+      traces.push_back(collect_trace(design, run_config));
+    }
+  }
+  return traces;
+}
+
+}  // namespace laco

@@ -1,0 +1,43 @@
+// Training data pipeline: run placements, snapshot feature frames,
+// label final placements with the global router — the reproduction of
+// the paper's "100 placement solutions per design, labeled by Innovus"
+// protocol (Sec. IV-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "router/congestion_eval.hpp"
+#include "train/snapshot.hpp"
+
+namespace laco {
+
+/// One placement run: its snapshot sequence plus the routed congestion
+/// label of the final (legalized) placement.
+struct PlacementTrace {
+  std::string design_name;
+  std::vector<Snapshot> snapshots;
+  GridMap congestion_label;     ///< at the congestion-model resolution
+  int spacing = 50;             ///< K used during collection
+  double final_hpwl = 0.0;
+  double final_overflow = 1.0;
+};
+
+struct TraceCollectionConfig {
+  SnapshotConfig snapshot;
+  GlobalPlacerOptions placer;
+  GlobalRouterConfig router;
+};
+
+/// Places `design` (mutating it), collecting snapshots, then legalizes
+/// and routes to produce the label.
+PlacementTrace collect_trace(Design& design, const TraceCollectionConfig& config);
+
+/// Collects `runs_per_design` traces for each named ISPD-2015 analog at
+/// `scale`, jittering the placer seed per run (the parameter-variation
+/// protocol of Sec. IV-A).
+std::vector<PlacementTrace> collect_traces(const std::vector<std::string>& design_names,
+                                           double scale, int runs_per_design,
+                                           const TraceCollectionConfig& config);
+
+}  // namespace laco

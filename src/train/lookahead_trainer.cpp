@@ -1,0 +1,93 @@
+#include "train/lookahead_trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "nn/optimizer.hpp"
+#include "util/logging.hpp"
+
+namespace laco {
+
+std::vector<LookAheadSample> build_lookahead_samples(const std::vector<PlacementTrace>& traces,
+                                                     int frames) {
+  std::vector<LookAheadSample> samples;
+  for (const PlacementTrace& trace : traces) {
+    const auto& snaps = trace.snapshots;
+    // Window [t-(C-1), ..., t] predicts t+1 (snapshots are K apart).
+    for (std::size_t t = static_cast<std::size_t>(frames) - 1; t + 1 < snaps.size(); ++t) {
+      LookAheadSample sample;
+      for (int c = frames - 1; c >= 0; --c) {
+        sample.history.push_back(&snaps[t - static_cast<std::size_t>(c)].lo_frame);
+      }
+      sample.target = &snaps[t + 1].lo_frame;
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+FeatureScale fit_lookahead_scale(const std::vector<PlacementTrace>& traces) {
+  std::vector<const FeatureFrame*> frames;
+  for (const PlacementTrace& trace : traces) {
+    for (const Snapshot& snap : trace.snapshots) frames.push_back(&snap.lo_frame);
+  }
+  return compute_feature_scale(frames);
+}
+
+TrainHistory train_lookahead(LookAheadModel& model, const std::vector<LookAheadSample>& samples,
+                             const FeatureScale& scale, const LookAheadTrainerConfig& config) {
+  TrainHistory history;
+  if (samples.empty()) return history;
+  const int nc = model.config().channels_per_frame;
+
+  nn::Adam optimizer(model.parameters(), config.lr);
+  std::mt19937 rng(config.seed);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  unsigned vae_seed = config.seed * 7919u;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    for (const std::size_t i : order) {
+      const LookAheadSample& sample = samples[i];
+      nn::Tensor input = frames_to_tensor(sample.history, scale, nc);
+      nn::Tensor target = frame_to_tensor(*sample.target, scale, nc);
+
+      optimizer.zero_grad();
+      const LookAheadModel::Output out = model.forward(input);
+      nn::Tensor loss = nn::mse_loss(out.prediction, target);
+      if (model.has_vae()) {
+        const VaeBranch::Output vo = model.vae().forward(out.latent, ++vae_seed);
+        loss = nn::add(loss, model.vae().loss(vo, out.latent, config.kl_weight,
+                                              config.recon_weight));
+      }
+      loss.backward();
+      optimizer.step();
+      epoch_loss += loss.item();
+    }
+    epoch_loss /= static_cast<double>(samples.size());
+    history.epoch_losses.push_back(epoch_loss);
+    LACO_LOG_INFO << "lookahead epoch " << epoch << " loss " << epoch_loss;
+  }
+  return history;
+}
+
+double evaluate_lookahead(const LookAheadModel& model,
+                          const std::vector<LookAheadSample>& samples,
+                          const FeatureScale& scale) {
+  if (samples.empty()) return 0.0;
+  const int nc = model.config().channels_per_frame;
+  nn::NoGradGuard guard;
+  double total = 0.0;
+  for (const LookAheadSample& sample : samples) {
+    nn::Tensor input = frames_to_tensor(sample.history, scale, nc);
+    nn::Tensor target = frame_to_tensor(*sample.target, scale, nc);
+    const LookAheadModel::Output out = model.forward(input);
+    total += nn::mse_loss(out.prediction, target).item();
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+}  // namespace laco

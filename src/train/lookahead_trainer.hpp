@@ -1,0 +1,55 @@
+// Trainer for the look-ahead model g: self-supervised next-frame
+// prediction over snapshot sequences, with the multi-task loss of
+// Sec. III-C/III-D — prediction MSE + VAE KL + VAE reconstruction.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "models/lookahead_simvp.hpp"
+#include "models/model_io.hpp"
+#include "train/dataset.hpp"
+
+namespace laco {
+
+/// One supervised pair: C history frames → the frame K iterations later.
+/// Pointers reference snapshots owned by the traces (low-res frames).
+struct LookAheadSample {
+  std::vector<const FeatureFrame*> history;
+  const FeatureFrame* target = nullptr;
+};
+
+struct LookAheadTrainerConfig {
+  int epochs = 10;
+  float lr = 1e-3f;
+  float kl_weight = 0.01f;
+  float recon_weight = 0.1f;
+  unsigned seed = 11;
+};
+
+struct TrainHistory {
+  std::vector<double> epoch_losses;
+  /// Per-epoch held-out loss; empty when no validation split was used.
+  std::vector<double> val_losses;
+  double final_loss() const { return epoch_losses.empty() ? 0.0 : epoch_losses.back(); }
+  double best_val_loss() const {
+    return val_losses.empty() ? 0.0 : *std::min_element(val_losses.begin(), val_losses.end());
+  }
+};
+
+/// All (history, target) windows from the traces' low-resolution frames.
+std::vector<LookAheadSample> build_lookahead_samples(const std::vector<PlacementTrace>& traces,
+                                                     int frames);
+
+/// Feature scale fitted on the traces' low-resolution frames.
+FeatureScale fit_lookahead_scale(const std::vector<PlacementTrace>& traces);
+
+TrainHistory train_lookahead(LookAheadModel& model, const std::vector<LookAheadSample>& samples,
+                             const FeatureScale& scale, const LookAheadTrainerConfig& config);
+
+/// Mean prediction MSE of g over held-out samples (no VAE terms).
+double evaluate_lookahead(const LookAheadModel& model,
+                          const std::vector<LookAheadSample>& samples,
+                          const FeatureScale& scale);
+
+}  // namespace laco

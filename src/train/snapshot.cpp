@@ -1,0 +1,23 @@
+#include "train/snapshot.hpp"
+
+namespace laco {
+
+SnapshotCollector::SnapshotCollector(const SnapshotConfig& config)
+    : config_(config),
+      extractor_(config.features),
+      lo_extractor_(config.lookahead_features) {}
+
+void SnapshotCollector::operator()(const Design& design, const IterationStats& stats) {
+  if (stats.iteration % config_.spacing != 0) return;
+  Snapshot snap;
+  snap.iteration = stats.iteration;
+  const std::vector<double>* px = have_prev_ ? &prev_x_ : nullptr;
+  const std::vector<double>* py = have_prev_ ? &prev_y_ : nullptr;
+  snap.frame = extractor_.compute(design, px, py, stats.iteration);
+  snap.lo_frame = lo_extractor_.compute(design, px, py, stats.iteration);
+  snapshots_.push_back(std::move(snap));
+  design.get_movable_positions(prev_x_, prev_y_);
+  have_prev_ = true;
+}
+
+}  // namespace laco

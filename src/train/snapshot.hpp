@@ -1,0 +1,48 @@
+// Feature-frame snapshot collection during a placement run. Frames are
+// captured every K iterations (the paper's look-ahead spacing) at both
+// the congestion-model resolution and the lower look-ahead resolution,
+// with cell flow computed between consecutive snapshots.
+#pragma once
+
+#include <vector>
+
+#include "features/feature_stack.hpp"
+#include "placer/global_placer.hpp"
+
+namespace laco {
+
+struct SnapshotConfig {
+  int spacing = 50;  ///< K: iterations between frames
+  FeatureConfig features;  ///< congestion-model resolution (e.g. 64×64)
+  FeatureConfig lookahead_features;  ///< look-ahead resolution (e.g. 32×32)
+};
+
+/// One captured instant of a placement run.
+struct Snapshot {
+  int iteration = 0;
+  FeatureFrame frame;      ///< full-resolution features
+  FeatureFrame lo_frame;   ///< look-ahead-resolution features
+};
+
+/// GlobalPlacer observer that accumulates snapshots. Attach with
+/// placer.set_observer(std::ref(collector)).
+class SnapshotCollector {
+ public:
+  explicit SnapshotCollector(const SnapshotConfig& config);
+
+  void operator()(const Design& design, const IterationStats& stats);
+
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+  std::vector<Snapshot>& snapshots() { return snapshots_; }
+  const SnapshotConfig& config() const { return config_; }
+
+ private:
+  SnapshotConfig config_;
+  FeatureExtractor extractor_;
+  FeatureExtractor lo_extractor_;
+  std::vector<double> prev_x_, prev_y_;  ///< positions at the last snapshot
+  bool have_prev_ = false;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace laco

@@ -1,0 +1,145 @@
+#include "train/trace_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace laco {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c54524bu;  // "LTRK"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_traces: truncated stream");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = read_pod<std::uint32_t>(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("load_traces: truncated string");
+  return s;
+}
+
+void write_map(std::ostream& out, const GridMap& map) {
+  write_pod<std::int32_t>(out, map.nx());
+  write_pod<std::int32_t>(out, map.ny());
+  const Rect& r = map.region();
+  write_pod(out, r.xl);
+  write_pod(out, r.yl);
+  write_pod(out, r.xh);
+  write_pod(out, r.yh);
+  out.write(reinterpret_cast<const char*>(map.data().data()),
+            static_cast<std::streamsize>(map.size() * sizeof(double)));
+}
+
+GridMap read_map(std::istream& in) {
+  const auto nx = read_pod<std::int32_t>(in);
+  const auto ny = read_pod<std::int32_t>(in);
+  Rect r;
+  r.xl = read_pod<double>(in);
+  r.yl = read_pod<double>(in);
+  r.xh = read_pod<double>(in);
+  r.yh = read_pod<double>(in);
+  GridMap map(nx, ny, r, 0.0);
+  in.read(reinterpret_cast<char*>(map.data().data()),
+          static_cast<std::streamsize>(map.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("load_traces: truncated map");
+  return map;
+}
+
+void write_frame(std::ostream& out, const FeatureFrame& frame) {
+  write_pod<std::int32_t>(out, frame.iteration);
+  for (int c = 0; c < FeatureFrame::kNumChannels; ++c) write_map(out, frame.channel(c));
+}
+
+FeatureFrame read_frame(std::istream& in) {
+  FeatureFrame frame;
+  frame.iteration = read_pod<std::int32_t>(in);
+  frame.rudy = read_map(in);
+  frame.pin_rudy = read_map(in);
+  frame.macro_region = read_map(in);
+  frame.flow_x = read_map(in);
+  frame.flow_y = read_map(in);
+  return frame;
+}
+
+}  // namespace
+
+void save_traces(const std::vector<PlacementTrace>& traces, std::ostream& out) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(traces.size()));
+  for (const PlacementTrace& trace : traces) {
+    write_string(out, trace.design_name);
+    write_pod<std::int32_t>(out, trace.spacing);
+    write_pod(out, trace.final_hpwl);
+    write_pod(out, trace.final_overflow);
+    write_map(out, trace.congestion_label);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(trace.snapshots.size()));
+    for (const Snapshot& snap : trace.snapshots) {
+      write_pod<std::int32_t>(out, snap.iteration);
+      write_frame(out, snap.frame);
+      write_frame(out, snap.lo_frame);
+    }
+  }
+}
+
+bool save_traces_file(const std::vector<PlacementTrace>& traces, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save_traces(traces, out);
+  return static_cast<bool>(out);
+}
+
+std::vector<PlacementTrace> load_traces(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMagic) throw std::runtime_error("load_traces: bad magic");
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_traces: unsupported version");
+  }
+  const auto count = read_pod<std::uint32_t>(in);
+  std::vector<PlacementTrace> traces;
+  traces.reserve(count);
+  for (std::uint32_t t = 0; t < count; ++t) {
+    PlacementTrace trace;
+    trace.design_name = read_string(in);
+    trace.spacing = read_pod<std::int32_t>(in);
+    trace.final_hpwl = read_pod<double>(in);
+    trace.final_overflow = read_pod<double>(in);
+    trace.congestion_label = read_map(in);
+    const auto snaps = read_pod<std::uint32_t>(in);
+    trace.snapshots.reserve(snaps);
+    for (std::uint32_t s = 0; s < snaps; ++s) {
+      Snapshot snap;
+      snap.iteration = read_pod<std::int32_t>(in);
+      snap.frame = read_frame(in);
+      snap.lo_frame = read_frame(in);
+      trace.snapshots.push_back(std::move(snap));
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::vector<PlacementTrace> load_traces_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_traces: cannot open '" + path + "'");
+  return load_traces(in);
+}
+
+}  // namespace laco

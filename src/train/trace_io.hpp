@@ -1,0 +1,22 @@
+// Binary (de)serialization of placement traces — the training dataset.
+// Collecting traces (placement + routing per run) dominates experiment
+// turnaround; caching them on disk lets benches and notebooks reuse one
+// collection across schemes and sessions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "train/dataset.hpp"
+
+namespace laco {
+
+void save_traces(const std::vector<PlacementTrace>& traces, std::ostream& out);
+bool save_traces_file(const std::vector<PlacementTrace>& traces, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+std::vector<PlacementTrace> load_traces(std::istream& in);
+std::vector<PlacementTrace> load_traces_file(const std::string& path);
+
+}  // namespace laco

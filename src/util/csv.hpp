@@ -1,0 +1,34 @@
+// Tiny CSV/table writer used by benches and examples to emit
+// paper-style tables both to stdout (aligned) and to .csv files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace laco {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+  /// Formats a double with fixed precision (helper for row building).
+  static std::string fmt(double value, int precision = 2);
+
+  /// Renders an aligned, human-readable table.
+  std::string to_string() const;
+  /// Renders RFC-4180-ish CSV.
+  std::string to_csv() const;
+  /// Writes CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace laco

@@ -1,0 +1,76 @@
+// Basic 2D geometry primitives used across the placer, router, and
+// feature extraction. All coordinates are in layout units (double) or
+// grid indices (int); the types carry no invariants beyond well-formed
+// rectangles, so they are plain structs per the Core Guidelines.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace laco {
+
+/// 2D point in layout coordinates.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+inline double norm(Point a) { return std::sqrt(dot(a, a)); }
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// 2D integer grid index (column k along x, row l along y).
+struct GridIndex {
+  int k = 0;  ///< column (x direction)
+  int l = 0;  ///< row (y direction)
+  friend bool operator==(const GridIndex&, const GridIndex&) = default;
+};
+
+/// Axis-aligned rectangle, half-open in spirit but stored as [lo, hi].
+struct Rect {
+  double xl = 0.0;
+  double yl = 0.0;
+  double xh = 0.0;
+  double yh = 0.0;
+
+  double width() const { return xh - xl; }
+  double height() const { return yh - yl; }
+  double area() const { return std::max(0.0, width()) * std::max(0.0, height()); }
+  Point center() const { return {(xl + xh) * 0.5, (yl + yh) * 0.5}; }
+
+  bool contains(Point p) const {
+    return p.x >= xl && p.x <= xh && p.y >= yl && p.y <= yh;
+  }
+  bool valid() const { return xh >= xl && yh >= yl; }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Intersection; returns a possibly-degenerate rectangle (area() == 0 when
+/// the operands do not overlap).
+inline Rect intersect(const Rect& a, const Rect& b) {
+  return {std::max(a.xl, b.xl), std::max(a.yl, b.yl),
+          std::min(a.xh, b.xh), std::min(a.yh, b.yh)};
+}
+
+inline double overlap_area(const Rect& a, const Rect& b) {
+  const Rect i = intersect(a, b);
+  return i.valid() ? i.area() : 0.0;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xl << ", " << r.yl << "; " << r.xh << ", " << r.yh << ']';
+}
+
+}  // namespace laco

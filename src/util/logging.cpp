@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace laco {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug]";
+    case LogLevel::kInfo: return "[info ]";
+    case LogLevel::kWarn: return "[warn ]";
+    case LogLevel::kError: return "[error]";
+    default: return "[?????]";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::scoped_lock lock(g_mutex);
+  std::cerr << level_tag(level) << ' ' << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace laco

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Placement/routing loops log through this so
+// benches can silence the library while examples keep progress visible.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace laco {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+/// Streaming log statement: collects one line, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { detail::log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace laco
+
+#define LACO_LOG_DEBUG ::laco::LogStream(::laco::LogLevel::kDebug)
+#define LACO_LOG_INFO ::laco::LogStream(::laco::LogLevel::kInfo)
+#define LACO_LOG_WARN ::laco::LogStream(::laco::LogLevel::kWarn)
+#define LACO_LOG_ERROR ::laco::LogStream(::laco::LogLevel::kError)

@@ -1,0 +1,21 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace laco {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0 || weights.empty()) {
+    throw std::invalid_argument("weighted_index: weights must be non-empty with positive sum");
+  }
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace laco

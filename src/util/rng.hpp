@@ -1,0 +1,50 @@
+// Seeded random number generation. Every stochastic component (netlist
+// generator, placer initialization, trainers) takes an Rng so the whole
+// pipeline is reproducible from a single seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace laco {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1ac0ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  /// Gaussian with given mean / stddev.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  /// Bernoulli trial.
+  bool flip(double p = 0.5) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+  /// Samples an index from unnormalized non-negative weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  template <typename It>
+  void shuffle(It first, It last) {
+    std::shuffle(first, last, engine_);
+  }
+
+  /// Derives an independent child stream (for parallel-safe decomposition).
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace laco

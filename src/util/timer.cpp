@@ -1,0 +1,30 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace laco {
+
+double RuntimeBreakdown::seconds(const std::string& phase) const {
+  const auto it = seconds_.find(phase);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+double RuntimeBreakdown::total() const {
+  double sum = 0.0;
+  for (const auto& [_, s] : seconds_) sum += s;
+  return sum;
+}
+
+std::vector<std::tuple<std::string, double, double>> RuntimeBreakdown::table() const {
+  const double sum = total();
+  std::vector<std::tuple<std::string, double, double>> rows;
+  rows.reserve(seconds_.size());
+  for (const auto& [phase, s] : seconds_) {
+    rows.emplace_back(phase, s, sum > 0.0 ? s / sum : 0.0);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return std::get<1>(a) > std::get<1>(b); });
+  return rows;
+}
+
+}  // namespace laco

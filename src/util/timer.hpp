@@ -1,0 +1,54 @@
+// Wall-clock timing helpers. RuntimeBreakdown accumulates named phase
+// timings — used to reproduce the paper's Fig. 8 runtime breakdown.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace laco {
+
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates seconds per named phase across many invocations.
+class RuntimeBreakdown {
+ public:
+  void add(const std::string& phase, double seconds) { seconds_[phase] += seconds; }
+  double seconds(const std::string& phase) const;
+  double total() const;
+  /// (phase, seconds, fraction-of-total), sorted by descending seconds.
+  std::vector<std::tuple<std::string, double, double>> table() const;
+  void clear() { seconds_.clear(); }
+
+ private:
+  std::map<std::string, double> seconds_;
+};
+
+/// RAII phase timer: adds elapsed time to a breakdown on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(RuntimeBreakdown& breakdown, std::string phase)
+      : breakdown_(breakdown), phase_(std::move(phase)) {}
+  ~ScopedPhase() { breakdown_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  RuntimeBreakdown& breakdown_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace laco

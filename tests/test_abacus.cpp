@@ -1,0 +1,86 @@
+// Tests for the Abacus legalizer, including the head-to-head property
+// it exists for: lower displacement than the Tetris legalizer.
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "placer/abacus.hpp"
+#include "placer/global_placer.hpp"
+#include "router/congestion_eval.hpp"
+
+namespace laco {
+namespace {
+
+Design placed(int cells, unsigned seed, int fences = 0) {
+  GeneratorConfig cfg;
+  cfg.num_cells = cells;
+  cfg.seed = seed;
+  cfg.num_fences = fences;
+  Design d = generate_design(cfg);
+  GlobalPlacerOptions opts;
+  opts.bin_nx = 16;
+  opts.bin_ny = 16;
+  opts.max_iterations = 200;
+  opts.min_iterations = 40;
+  GlobalPlacer placer(d, opts);
+  placer.run();
+  return d;
+}
+
+TEST(Abacus, ProducesLegalPlacement) {
+  Design d = placed(300, 2);
+  const LegalizeResult result = abacus_legalize(d);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.placed, d.num_movable());
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST(Abacus, HandlesClumpedInput) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 250;
+  Design d = generate_design(cfg);
+  std::vector<double> x(d.num_movable(), d.core().center().x);
+  std::vector<double> y(d.num_movable(), d.core().center().y);
+  d.set_movable_positions(x, y);
+  const LegalizeResult result = abacus_legalize(d);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST(Abacus, RespectsFences) {
+  Design d = placed(400, 7, 2);
+  abacus_legalize(d);
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+class AbacusVsTetris : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AbacusVsTetris, AbacusDisplacesLess) {
+  Design tetris_design = placed(350, GetParam());
+  Design abacus_design = tetris_design;  // identical starting point
+  const LegalizeResult tetris = legalize(tetris_design);
+  const LegalizeResult abacus = abacus_legalize(abacus_design);
+  ASSERT_EQ(tetris.failed, 0u);
+  ASSERT_EQ(abacus.failed, 0u);
+  EXPECT_EQ(count_legality_violations(abacus_design), 0u);
+  // The quadratic-optimal cluster packing should not be (much) worse; in
+  // the common case it is clearly better. Allow 10% slack for ties.
+  EXPECT_LE(abacus.total_displacement, tetris.total_displacement * 1.1)
+      << "abacus " << abacus.total_displacement << " vs tetris " << tetris.total_displacement;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbacusVsTetris, ::testing::Values(11u, 23u, 35u));
+
+TEST(Abacus, EndToEndRoutesCleanly) {
+  Design d = placed(300, 13);
+  abacus_legalize(d);
+  detailed_place(d);
+  EXPECT_EQ(count_legality_violations(d), 0u);
+  GlobalRouterConfig rc;
+  rc.grid.nx = 16;
+  rc.grid.ny = 16;
+  const RoutingResult routing = route_design(d, rc);
+  EXPECT_GT(routing.routed_wirelength, 0.0);
+}
+
+}  // namespace
+}  // namespace laco

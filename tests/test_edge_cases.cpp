@@ -1,0 +1,165 @@
+// Degenerate-input edge cases across the flow: designs with no movable
+// cells, single cells, coincident pins, empty nets lists — the inputs a
+// robust library must survive without special-casing by the caller.
+#include <gtest/gtest.h>
+
+#include "features/feature_stack.hpp"
+#include "placer/global_placer.hpp"
+#include "placer/legalizer.hpp"
+#include "router/congestion_eval.hpp"
+
+namespace laco {
+namespace {
+
+Design fixed_only_design() {
+  Design d("fixed", Rect{0, 0, 10, 10}, 1.0);
+  Cell macro;
+  macro.kind = CellKind::kMacro;
+  macro.fixed = true;
+  macro.width = 3;
+  macro.height = 3;
+  macro.x = 2;
+  macro.y = 2;
+  d.add_cell(macro);
+  Cell pad;
+  pad.kind = CellKind::kPad;
+  pad.fixed = true;
+  pad.width = 1;
+  pad.height = 1;
+  pad.x = 0;
+  pad.y = 9;
+  const CellId p1 = d.add_cell(pad);
+  pad.x = 9;
+  const CellId p2 = d.add_cell(pad);
+  const NetId n = d.add_net("io");
+  d.add_pin(p1, n, 0.5, 0.5);
+  d.add_pin(p2, n, 0.5, 0.5);
+  return d;
+}
+
+TEST(EdgeCases, PlacerSurvivesDesignWithoutMovableCells) {
+  Design d = fixed_only_design();
+  ASSERT_EQ(d.num_movable(), 0u);
+  GlobalPlacerOptions opts;
+  opts.bin_nx = 4;
+  opts.bin_ny = 4;
+  opts.max_iterations = 10;
+  opts.min_iterations = 1;
+  GlobalPlacer placer(d, opts);
+  const PlacementResult result = placer.run();
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_DOUBLE_EQ(result.final_overflow, 0.0);
+}
+
+TEST(EdgeCases, LegalizersHandleNoMovableCells) {
+  Design d = fixed_only_design();
+  const LegalizeResult result = legalize(d);
+  EXPECT_EQ(result.placed, 0u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST(EdgeCases, RouterHandlesFixedOnlyDesign) {
+  Design d = fixed_only_design();
+  GlobalRouterConfig rc;
+  rc.grid.nx = 8;
+  rc.grid.ny = 8;
+  const RoutingResult result = route_design(d, rc);
+  EXPECT_EQ(result.segments, 1u);  // the io net
+  EXPECT_GT(result.routed_wirelength, 0.0);
+}
+
+TEST(EdgeCases, SingleMovableCellFullFlow) {
+  Design d("one", Rect{0, 0, 8, 8}, 1.0);
+  Cell c;
+  c.width = 1;
+  c.height = 1;
+  c.x = 4;
+  c.y = 4;
+  d.add_cell(c);
+  Cell pad;
+  pad.kind = CellKind::kPad;
+  pad.fixed = true;
+  pad.width = 0.5;
+  pad.height = 1;
+  pad.x = 0;
+  pad.y = 0;
+  const CellId p = d.add_cell(pad);
+  const NetId n = d.add_net("n");
+  d.add_pin(0, n, 0.5, 0.5);
+  d.add_pin(p, n, 0.25, 0.5);
+
+  GlobalPlacerOptions opts;
+  opts.bin_nx = 4;
+  opts.bin_ny = 4;
+  opts.max_iterations = 30;
+  opts.min_iterations = 5;
+  GlobalPlacer placer(d, opts);
+  placer.run();
+  GlobalRouterConfig rc;
+  rc.grid.nx = 8;
+  rc.grid.ny = 8;
+  const PlacementEvaluation eval = evaluate_placement(d, rc);
+  EXPECT_EQ(eval.legality_violations, 0u);
+}
+
+TEST(EdgeCases, FeaturesOnCoincidentPins) {
+  Design d("coin", Rect{0, 0, 8, 8}, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    Cell c;
+    c.width = 1;
+    c.height = 1;
+    c.x = 3.5;
+    c.y = 3.5;
+    d.add_cell(c);
+  }
+  const NetId n = d.add_net("n");
+  for (CellId cid = 0; cid < 3; ++cid) d.add_pin(cid, n, 0.5, 0.5);
+  FeatureExtractor ex(FeatureConfig{8, 8, QuasiVoxScheme::kWeightedSum, true});
+  const FeatureFrame frame = ex.compute(d);
+  for (const double v : frame.rudy.data()) EXPECT_TRUE(std::isfinite(v));
+  // Degenerate box still deposits (widened to one bin).
+  EXPECT_GT(frame.rudy.sum(), 0.0);
+  // Backward with coincident pins must not produce NaNs.
+  std::vector<double> gx(d.num_cells(), 0.0), gy(d.num_cells(), 0.0);
+  GridMap up(8, 8, d.core(), 1.0);
+  rudy_backward(d, up, gx, gy);
+  for (const double v : gx) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EdgeCases, EmptyNetListDesignStillPlaces) {
+  Design d("nonet", Rect{0, 0, 8, 8}, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    Cell c;
+    c.width = 1;
+    c.height = 1;
+    c.x = 4;
+    c.y = 4;
+    d.add_cell(c);
+  }
+  GlobalPlacerOptions opts;
+  opts.bin_nx = 4;
+  opts.bin_ny = 4;
+  opts.max_iterations = 50;
+  opts.min_iterations = 5;
+  GlobalPlacer placer(d, opts);
+  const PlacementResult result = placer.run();
+  // Density-only objective: cells spread, no NaNs.
+  EXPECT_LT(result.final_overflow, 1.0);
+  EXPECT_TRUE(std::isfinite(result.final_hpwl));
+}
+
+TEST(EdgeCases, SnapshotOnNetlessDesignIsFinite) {
+  Design d("nonet2", Rect{0, 0, 8, 8}, 1.0);
+  Cell c;
+  c.width = 1;
+  c.height = 1;
+  d.add_cell(c);
+  FeatureExtractor ex(FeatureConfig{4, 4, QuasiVoxScheme::kWeightedSum, false});
+  const FeatureFrame frame = ex.compute(d);
+  EXPECT_DOUBLE_EQ(frame.rudy.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(frame.pin_rudy.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace laco

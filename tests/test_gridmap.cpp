@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "gridmap/grid_map.hpp"
+
+namespace laco {
+namespace {
+
+TEST(GridMap, ConstructionAndIndexing) {
+  GridMap m(4, 3, Rect{0, 0, 8, 6}, 1.5);
+  EXPECT_EQ(m.nx(), 4);
+  EXPECT_EQ(m.ny(), 3);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_DOUBLE_EQ(m.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(m.bin_height(), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 2), 1.5);
+  EXPECT_THROW(GridMap(0, 3), std::invalid_argument);
+  EXPECT_THROW(GridMap(4, 3, Rect{0, 0, 0, 6}), std::invalid_argument);
+}
+
+TEST(GridMap, BinOfClampsToGrid) {
+  GridMap m(4, 4, Rect{0, 0, 4, 4});
+  EXPECT_EQ(m.bin_of({0.5, 0.5}), (GridIndex{0, 0}));
+  EXPECT_EQ(m.bin_of({3.9, 3.9}), (GridIndex{3, 3}));
+  EXPECT_EQ(m.bin_of({-1.0, 10.0}), (GridIndex{0, 3}));
+}
+
+TEST(GridMap, BinRect) {
+  GridMap m(4, 4, Rect{0, 0, 4, 4});
+  EXPECT_EQ(m.bin_rect(1, 2), (Rect{1, 2, 2, 3}));
+}
+
+TEST(GridMap, AddRectConservesIntegralInDensityMode) {
+  GridMap m(8, 8, Rect{0, 0, 8, 8});
+  m.add_rect(Rect{1.3, 2.7, 4.1, 5.2}, 10.0, /*density_mode=*/true);
+  EXPECT_NEAR(m.sum(), 10.0, 1e-9);
+}
+
+TEST(GridMap, AddRectAreaWeightedValue) {
+  GridMap m(2, 1, Rect{0, 0, 2, 1});
+  // Rect covering left bin fully and half of the right one with value 1:
+  // the left bin averages 1.0, the right 0.5.
+  m.add_rect(Rect{0, 0, 1.5, 1}, 1.0, /*density_mode=*/false);
+  EXPECT_NEAR(m.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(m.at(1, 0), 0.5, 1e-12);
+}
+
+TEST(GridMap, DegenerateRectHitsCenterBin) {
+  GridMap m(4, 4, Rect{0, 0, 4, 4});
+  m.add_rect(Rect{2.5, 2.5, 2.5, 2.5}, 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 3.0);
+}
+
+TEST(GridMap, BilinearSamplingAtCentersIsExact) {
+  GridMap m(4, 4, Rect{0, 0, 4, 4});
+  m.at(1, 2) = 7.0;
+  // Bin (1,2) center: (1.5, 2.5).
+  EXPECT_NEAR(m.sample_bilinear({1.5, 2.5}), 7.0, 1e-12);
+}
+
+TEST(GridMap, BilinearInterpolatesBetweenCenters) {
+  GridMap m(2, 1, Rect{0, 0, 2, 1});
+  m.at(0, 0) = 0.0;
+  m.at(1, 0) = 10.0;
+  // Midpoint between centers (0.5, .5) and (1.5, .5).
+  EXPECT_NEAR(m.sample_bilinear({1.0, 0.5}), 5.0, 1e-12);
+}
+
+TEST(GridMap, Statistics) {
+  GridMap m(2, 2, Rect{0, 0, 1, 1});
+  m.at(0, 0) = 1;
+  m.at(1, 0) = 2;
+  m.at(0, 1) = 3;
+  m.at(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.min(), 1);
+  EXPECT_DOUBLE_EQ(m.max(), 4);
+  EXPECT_DOUBLE_EQ(m.sum(), 10);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+}
+
+TEST(GridMap, ArithmeticOperators) {
+  GridMap a(2, 1, Rect{0, 0, 1, 1});
+  GridMap b(2, 1, Rect{0, 0, 1, 1});
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 2;
+  b.at(0, 0) = 10;
+  b.at(1, 0) = 20;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 22);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 2);
+  a *= 3.0;
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3);
+  GridMap c(3, 1, Rect{0, 0, 1, 1});
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(GridMap, ResampleDownPreservesMean) {
+  GridMap m(8, 8, Rect{0, 0, 8, 8});
+  for (int l = 0; l < 8; ++l) {
+    for (int k = 0; k < 8; ++k) m.at(k, l) = k + 10.0 * l;
+  }
+  const GridMap down = m.resampled(4, 4);
+  EXPECT_NEAR(down.mean(), m.mean(), 1e-9);
+  // Top-left output bin averages the 2x2 input block {0,1,10,11}.
+  EXPECT_NEAR(down.at(0, 0), (0 + 1 + 10 + 11) / 4.0, 1e-9);
+}
+
+TEST(GridMap, ResampleUpPreservesMean) {
+  GridMap m(2, 2, Rect{0, 0, 2, 2});
+  m.at(0, 0) = 4.0;
+  const GridMap up = m.resampled(8, 8);
+  EXPECT_NEAR(up.mean(), m.mean(), 1e-9);
+  EXPECT_NEAR(up.at(0, 0), 4.0, 1e-9);
+  EXPECT_NEAR(up.at(7, 7), 0.0, 1e-9);
+}
+
+TEST(GridMap, L1Distance) {
+  GridMap a(2, 1, Rect{0, 0, 1, 1});
+  GridMap b(2, 1, Rect{0, 0, 1, 1});
+  a.at(0, 0) = 1;
+  b.at(1, 0) = 2;
+  EXPECT_DOUBLE_EQ(GridMap::l1_distance(a, b), 3.0);
+}
+
+}  // namespace
+}  // namespace laco

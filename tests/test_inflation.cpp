@@ -1,0 +1,107 @@
+// Tests for the cell-inflation baseline placer and the router's
+// PathFinder history negotiation.
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "placer/inflation.hpp"
+#include "router/congestion_eval.hpp"
+
+namespace laco {
+namespace {
+
+InflationOptions tiny_options() {
+  InflationOptions io;
+  io.rounds = 2;
+  io.placer.bin_nx = 12;
+  io.placer.bin_ny = 12;
+  io.placer.max_iterations = 120;
+  io.placer.min_iterations = 50;
+  io.router.grid.nx = 16;
+  io.router.grid.ny = 16;
+  return io;
+}
+
+TEST(Inflation, RestoresCellSizes) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 250;
+  cfg.seed = 3;
+  Design d = generate_design(cfg);
+  std::vector<double> widths;
+  for (const CellId cid : d.movable_cells()) widths.push_back(d.cell(cid).width);
+  const InflationResult result = run_inflation_placement(d, tiny_options());
+  EXPECT_EQ(result.rounds_run, 2);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d.cell(d.movable_cells()[i]).width, widths[i]);
+  }
+}
+
+TEST(Inflation, InflatesSomethingOnCongestedDesign) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 400;
+  cfg.target_utilization = 0.85;  // dense: guaranteed hotspots
+  cfg.seed = 9;
+  Design d = generate_design(cfg);
+  InflationOptions io = tiny_options();
+  io.rounds = 3;
+  io.utilization_threshold = 0.5;
+  const InflationResult result = run_inflation_placement(d, io);
+  EXPECT_GT(result.inflated_fraction, 0.0);
+  EXPECT_GT(result.mean_inflation, 1.0);
+  EXPECT_EQ(result.overflow_per_round.size(), 3u);
+}
+
+TEST(Inflation, PlacementRemainsLegalizable) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 300;
+  cfg.seed = 5;
+  Design d = generate_design(cfg);
+  run_inflation_placement(d, tiny_options());
+  GlobalRouterConfig rc;
+  rc.grid.nx = 16;
+  rc.grid.ny = 16;
+  const PlacementEvaluation eval = evaluate_placement(d, rc);
+  EXPECT_EQ(eval.legality_violations, 0u);
+}
+
+TEST(RouterHistory, AccumulatesOnOverflowedEdgesOnly) {
+  Design d("h", Rect{0, 0, 8, 8}, 1.0);
+  Cell c;
+  c.width = 1;
+  c.height = 1;
+  d.add_cell(c);
+  GridGraphConfig gc;
+  gc.nx = 8;
+  gc.ny = 8;
+  GridGraph g(d, gc);
+  g.add_h_usage(2, 2, g.h_capacity(2, 2) + 1.0);  // overflowed
+  g.add_h_usage(4, 4, 0.5);                        // in capacity
+  g.accumulate_history(0.7);
+  EXPECT_DOUBLE_EQ(g.h_history(2, 2), 0.7);
+  EXPECT_DOUBLE_EQ(g.h_history(4, 4), 0.0);
+  // History raises the edge cost even after the demand is ripped up.
+  g.add_h_usage(2, 2, -(g.h_capacity(2, 2) + 1.0));
+  EXPECT_GT(g.h_cost(2, 2), g.h_cost(4, 4));
+  g.clear_history();
+  EXPECT_DOUBLE_EQ(g.h_history(2, 2), 0.0);
+}
+
+TEST(RouterHistory, NegotiationDoesNotWorsenOverflow) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 400;
+  cfg.target_utilization = 0.85;
+  cfg.seed = 7;
+  Design d = generate_design(cfg);
+  GlobalRouterConfig base;
+  base.grid.nx = 16;
+  base.grid.ny = 16;
+  base.rrr_rounds = 0;
+  GlobalRouterConfig negotiated = base;
+  negotiated.rrr_rounds = 3;
+  const RoutingResult before = route_design(d, base);
+  const RoutingResult after = route_design(d, negotiated);
+  EXPECT_LE(after.total_overflow_h + after.total_overflow_v,
+            before.total_overflow_h + before.total_overflow_v + 1e-9);
+}
+
+}  // namespace
+}  // namespace laco

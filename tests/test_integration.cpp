@@ -1,0 +1,150 @@
+// End-to-end integration tests over the full pipeline: trace collection
+// → model training → prediction evaluation → congestion-guided
+// placement. Configurations are tiny so the suite stays fast, but every
+// stage of the paper's flow is exercised for real.
+#include <gtest/gtest.h>
+
+#include "laco/pipeline.hpp"
+#include "laco/laco_placer.hpp"
+#include "netlist/ispd2015_suite.hpp"
+
+namespace laco {
+namespace {
+
+PipelineConfig tiny_pipeline_config() {
+  PipelineConfig cfg = default_pipeline_config();
+  cfg.scale = 0.002;  // ~70-260 cell designs
+  cfg.runs_per_design = 1;
+  cfg.trace.snapshot.spacing = 10;
+  cfg.trace.snapshot.features = FeatureConfig{16, 16, QuasiVoxScheme::kWeightedSum, true};
+  cfg.trace.snapshot.lookahead_features =
+      FeatureConfig{8, 8, QuasiVoxScheme::kWeightedSum, true};
+  cfg.trace.placer.bin_nx = 8;
+  cfg.trace.placer.bin_ny = 8;
+  cfg.trace.placer.max_iterations = 70;
+  cfg.trace.placer.min_iterations = 70;
+  cfg.trace.placer.target_overflow = 0.0;
+  cfg.trace.router.grid.nx = 16;
+  cfg.trace.router.grid.ny = 16;
+  cfg.lookahead_model.frames = 3;
+  cfg.lookahead_model.base_width = 8;
+  cfg.lookahead_model.inception_blocks = 1;
+  cfg.congestion_model.base_width = 4;
+  cfg.lookahead_trainer.epochs = 3;
+  cfg.congestion_trainer.epochs = 4;
+  return cfg;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static Pipeline& pipeline() {
+    static Pipeline instance(tiny_pipeline_config());
+    return instance;
+  }
+  static const std::vector<PlacementTrace>& train_traces() {
+    return pipeline().traces_for({"fft_1", "fft_2"});
+  }
+  static const std::vector<PlacementTrace>& test_traces() {
+    return pipeline().traces_for({"pci_bridge32_b"});
+  }
+};
+
+TEST_F(PipelineTest, TracesHaveSnapshotsAndLabels) {
+  const auto& traces = train_traces();
+  ASSERT_EQ(traces.size(), 2u);
+  for (const auto& trace : traces) {
+    EXPECT_GE(trace.snapshots.size(), 4u);
+    EXPECT_GT(trace.congestion_label.max(), 0.0);
+  }
+}
+
+TEST_F(PipelineTest, TraceCacheReturnsSameObject) {
+  const auto& a = pipeline().traces_for({"fft_1", "fft_2"});
+  const auto& b = pipeline().traces_for({"fft_1", "fft_2"});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(PipelineTest, DreamCongTrainsAndEvaluates) {
+  const LacoModels models = pipeline().train_models(LacoScheme::kDreamCong, train_traces());
+  EXPECT_EQ(models.scheme, LacoScheme::kDreamCong);
+  EXPECT_FALSE(models.lookahead);
+  const PredictionQuality q = pipeline().evaluate_prediction(models, test_traces());
+  EXPECT_GT(q.samples, 0);
+  EXPECT_GT(q.nrms, 0.0);
+  EXPECT_LE(q.ssim, 1.0);
+}
+
+TEST_F(PipelineTest, LacoTrainsAndEvaluates) {
+  const LacoModels models = pipeline().train_models(LacoScheme::kCellFlowKL, train_traces());
+  ASSERT_TRUE(models.lookahead);
+  EXPECT_TRUE(models.lookahead->has_vae());
+  const PredictionQuality q = pipeline().evaluate_prediction(models, test_traces());
+  EXPECT_GT(q.samples, 0);
+  // A trained model should beat a constant-zero predictor on NRMS for a
+  // non-trivial label... at minimum produce a finite sane value.
+  EXPECT_GT(q.nrms, 0.0);
+  EXPECT_LT(q.nrms, 5.0);
+}
+
+TEST_F(PipelineTest, FSampleChannelCountsFollowScheme) {
+  const LacoModels dc = pipeline().train_models(LacoScheme::kDreamCong, train_traces());
+  const auto dc_samples = pipeline().build_f_samples(LacoScheme::kDreamCong, dc, test_traces());
+  ASSERT_FALSE(dc_samples.empty());
+  EXPECT_EQ(dc_samples[0].input.dim(1), 3);
+
+  const LacoModels cf = pipeline().train_models(LacoScheme::kCellFlow, train_traces());
+  const auto cf_samples = pipeline().build_f_samples(LacoScheme::kCellFlow, cf, test_traces());
+  ASSERT_FALSE(cf_samples.empty());
+  EXPECT_EQ(cf_samples[0].input.dim(1), 10);
+  // Look-ahead schemes produce one sample per window, i.e. more samples
+  // than DREAM-Cong's one-per-trace.
+  EXPECT_GT(cf_samples.size(), dc_samples.size());
+}
+
+TEST_F(PipelineTest, LessFlowKLDropsFlowFromFInputsOnly) {
+  const LacoModels models = pipeline().train_models(LacoScheme::kLessFlowKL, train_traces());
+  // g still models flow (5 channels per frame)...
+  EXPECT_EQ(models.lookahead->config().channels_per_frame, 5);
+  // ...but f sees 3 predicted + 3 shortcut channels only.
+  const auto samples =
+      pipeline().build_f_samples(LacoScheme::kLessFlowKL, models, test_traces());
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples[0].input.dim(1), 6);
+}
+
+TEST_F(PipelineTest, NoFlowKLRemovesFlowEverywhere) {
+  const LacoModels models = pipeline().train_models(LacoScheme::kNoFlowKL, train_traces());
+  EXPECT_EQ(models.lookahead->config().channels_per_frame, 3);
+  EXPECT_TRUE(models.lookahead->has_vae());
+  const auto samples = pipeline().build_f_samples(LacoScheme::kNoFlowKL, models, test_traces());
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples[0].input.dim(1), 6);
+}
+
+TEST_F(PipelineTest, PerDesignEvaluationCoversAllDesigns) {
+  const LacoModels models = pipeline().train_models(LacoScheme::kLookAheadOnly, train_traces());
+  const auto per_design = pipeline().evaluate_prediction_per_design(models, test_traces());
+  ASSERT_EQ(per_design.size(), 1u);
+  EXPECT_TRUE(per_design.count("pci_bridge32_b"));
+}
+
+TEST_F(PipelineTest, GuidedPlacementRunsWithTrainedModels) {
+  const LacoModels models = pipeline().train_models(LacoScheme::kCellFlowKL, train_traces());
+  Design d = make_ispd2015_analog("pci_bridge32_b", 0.002);
+  LacoPlacerConfig cfg;
+  cfg.scheme = LacoScheme::kCellFlowKL;
+  cfg.placer = tiny_pipeline_config().trace.placer;
+  cfg.penalty = pipeline().penalty_config();
+  cfg.penalty.frames = 3;
+  cfg.penalty.spacing = 10;
+  cfg.penalty.start_iteration = 30;
+  cfg.router = tiny_pipeline_config().trace.router;
+  const LacoRunResult result = run_laco_placement(d, cfg, &models);
+  EXPECT_EQ(result.evaluation.legality_violations, 0u);
+  bool fired = false;
+  for (const auto& stats : result.placement.history) fired |= stats.penalty != 0.0;
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace laco

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "placer/detailed_placer.hpp"
+#include "placer/global_placer.hpp"
+#include "placer/legalizer.hpp"
+
+namespace laco {
+namespace {
+
+Design placed_design(int cells, unsigned seed) {
+  GeneratorConfig cfg;
+  cfg.num_cells = cells;
+  cfg.seed = seed;
+  Design d = generate_design(cfg);
+  GlobalPlacerOptions opts;
+  opts.bin_nx = 16;
+  opts.bin_ny = 16;
+  opts.max_iterations = 200;
+  opts.min_iterations = 30;
+  GlobalPlacer placer(d, opts);
+  placer.run();
+  return d;
+}
+
+TEST(Legalizer, ProducesLegalPlacement) {
+  Design d = placed_design(300, 2);
+  const LegalizeResult result = legalize(d);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.placed, d.num_movable());
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST(Legalizer, DisplacementIsBounded) {
+  Design d = placed_design(300, 3);
+  const LegalizeResult result = legalize(d);
+  // Mean displacement should be a small fraction of the core width for a
+  // reasonably spread global placement.
+  const double mean_disp = result.total_displacement / std::max<std::size_t>(1, result.placed);
+  EXPECT_LT(mean_disp, 0.15 * d.core().width());
+}
+
+TEST(Legalizer, AvoidsMacros) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 200;
+  cfg.num_macros = 3;
+  cfg.macro_area_fraction = 0.25;
+  Design d = generate_design(cfg);
+  // Dump all cells onto the macro area to force avoidance.
+  std::vector<double> x, y;
+  d.get_movable_positions(x, y);
+  Point macro_center{0, 0};
+  for (const Cell& c : d.cells()) {
+    if (c.kind == CellKind::kMacro) {
+      macro_center = c.center();
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = macro_center.x;
+    y[i] = macro_center.y;
+  }
+  d.set_movable_positions(x, y);
+  legalize(d);
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST(Legalizer, IdempotentOnLegalInput) {
+  Design d = placed_design(150, 4);
+  legalize(d);
+  std::vector<double> x1, y1;
+  d.get_movable_positions(x1, y1);
+  const LegalizeResult again = legalize(d);
+  EXPECT_EQ(again.failed, 0u);
+  // A second pass moves cells very little (Tetris order may reshuffle
+  // identical-x cells but stays legal).
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST(DetailedPlacer, NeverIncreasesHpwl) {
+  Design d = placed_design(250, 5);
+  legalize(d);
+  const DetailedPlaceResult result = detailed_place(d);
+  EXPECT_LE(result.hpwl_after, result.hpwl_before + 1e-9);
+}
+
+TEST(DetailedPlacer, KeepsPlacementLegal) {
+  Design d = placed_design(250, 6);
+  legalize(d);
+  detailed_place(d);
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST(DetailedPlacer, AcceptsSomeSwapsOnShuffledRows) {
+  // Construct a row of cells whose net connectivity prefers the reverse
+  // order, so swaps are clearly profitable.
+  Design d("row", Rect{0, 0, 20, 4}, 1.0);
+  std::vector<CellId> cells;
+  for (int i = 0; i < 4; ++i) {
+    Cell c;
+    c.width = 1;
+    c.height = 1;
+    c.x = 2.0 * i;
+    c.y = 0.0;
+    cells.push_back(d.add_cell(c));
+  }
+  // Anchor pads at both ends.
+  Cell left_pad;
+  left_pad.kind = CellKind::kPad;
+  left_pad.fixed = true;
+  left_pad.width = 0.5;
+  left_pad.height = 1;
+  left_pad.x = 0;
+  left_pad.y = 3;
+  Cell right_pad = left_pad;
+  right_pad.x = 19.5;
+  const CellId lp = d.add_cell(left_pad);
+  const CellId rp = d.add_cell(right_pad);
+  // cell 0 wants to be right, cell 3 wants to be left.
+  const NetId n1 = d.add_net("n1");
+  d.add_pin(cells[0], n1, 0.5, 0.5);
+  d.add_pin(rp, n1, 0.25, 0.5);
+  const NetId n2 = d.add_net("n2");
+  d.add_pin(cells[3], n2, 0.5, 0.5);
+  d.add_pin(lp, n2, 0.25, 0.5);
+  const double before = d.hpwl();
+  const DetailedPlaceResult result = detailed_place(d, DetailedPlacerOptions{4});
+  EXPECT_GT(result.swaps_accepted, 0u);
+  EXPECT_LT(d.hpwl(), before);
+}
+
+}  // namespace
+}  // namespace laco

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/kl_divergence.hpp"
+#include "metrics/nrms.hpp"
+#include "metrics/ssim.hpp"
+#include "netlist/generator.hpp"
+
+namespace laco {
+namespace {
+
+GridMap ramp(int n, double scale = 1.0) {
+  GridMap m(n, n, Rect{0, 0, 1, 1});
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = scale * static_cast<double>(i);
+  return m;
+}
+
+TEST(Nrms, ZeroForPerfectPrediction) {
+  const GridMap truth = ramp(8);
+  EXPECT_DOUBLE_EQ(nrms(truth, truth), 0.0);
+}
+
+TEST(Nrms, KnownValue) {
+  GridMap truth(2, 1, Rect{0, 0, 1, 1});
+  truth.at(0, 0) = 0.0;
+  truth.at(1, 0) = 2.0;  // range = 2, N = 2
+  GridMap pred = truth;
+  pred.at(0, 0) = 1.0;  // error vector (1, 0), ||.||2 = 1
+  EXPECT_NEAR(nrms(pred, truth), 1.0 / (2.0 * std::sqrt(2.0)), 1e-12);
+}
+
+TEST(Nrms, InvariantToTruthShiftOfBoth) {
+  const GridMap truth = ramp(8);
+  GridMap pred = ramp(8);
+  pred.at(3, 3) += 5.0;
+  const double base = nrms(pred, truth);
+  GridMap truth2 = truth;
+  GridMap pred2 = pred;
+  for (std::size_t i = 0; i < truth2.size(); ++i) {
+    truth2[i] += 100.0;
+    pred2[i] += 100.0;
+  }
+  EXPECT_NEAR(nrms(pred2, truth2), base, 1e-12);
+}
+
+TEST(Nrms, ShapeMismatchThrows) {
+  EXPECT_THROW(nrms(ramp(4), ramp(8)), std::invalid_argument);
+}
+
+TEST(Ssim, OneForIdenticalMaps) {
+  const GridMap m = ramp(8);
+  EXPECT_NEAR(ssim(m, m), 1.0, 1e-9);
+}
+
+TEST(Ssim, LowForAnticorrelatedMaps) {
+  const GridMap truth = ramp(8);
+  GridMap pred(8, 8, Rect{0, 0, 1, 1});
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    pred[i] = static_cast<double>(pred.size()) - 1.0 - static_cast<double>(i);
+  }
+  EXPECT_LT(ssim(pred, truth), 0.2);
+}
+
+TEST(Ssim, DecreasesWithNoise) {
+  const GridMap truth = ramp(16);
+  GridMap slightly = truth;
+  GridMap very = truth;
+  Rng rng(2);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double noise = rng.normal(0.0, 1.0);
+    slightly[i] += 2.0 * noise;
+    very[i] += 40.0 * noise;
+  }
+  EXPECT_GT(ssim(slightly, truth), ssim(very, truth));
+}
+
+TEST(KlDivergence, ZeroForIdenticalDistributions) {
+  const GridMap m = ramp(8, 0.1);
+  EXPECT_NEAR(kl_divergence(m, m), 0.0, 1e-9);
+}
+
+TEST(KlDivergence, PositiveAndAsymmetric) {
+  GridMap p(4, 1, Rect{0, 0, 1, 1});
+  GridMap q(4, 1, Rect{0, 0, 1, 1});
+  p.at(0, 0) = 10.0;
+  p.at(1, 0) = 1.0;
+  q.at(0, 0) = 1.0;
+  q.at(1, 0) = 10.0;
+  const double pq = kl_divergence(p, q);
+  const double qp = kl_divergence(q, p);
+  EXPECT_GT(pq, 0.0);
+  // Symmetric construction gives equal values here; perturb to check
+  // general asymmetry.
+  q.at(2, 0) = 5.0;
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+  (void)qp;
+}
+
+TEST(KlDivergence, NormalizationInvariant) {
+  GridMap p(4, 1, Rect{0, 0, 1, 1});
+  GridMap q(4, 1, Rect{0, 0, 1, 1});
+  for (int k = 0; k < 4; ++k) {
+    p.at(k, 0) = k + 1.0;
+    q.at(k, 0) = 5.0 - k;
+  }
+  const double base = kl_divergence(p, q);
+  GridMap p2 = p;
+  p2 *= 7.0;  // unnormalized scale must not matter
+  EXPECT_NEAR(kl_divergence(p2, q), base, 1e-6);
+}
+
+TEST(KlDivergence, GrowsWithSeparation) {
+  // Concentrated p vs progressively different q.
+  GridMap p(8, 1, Rect{0, 0, 1, 1});
+  p.at(0, 0) = 1.0;
+  GridMap q_near = p;
+  q_near.at(1, 0) = 0.3;
+  GridMap q_far(8, 1, Rect{0, 0, 1, 1});
+  q_far.at(7, 0) = 1.0;
+  EXPECT_LT(kl_divergence(p, q_near), kl_divergence(p, q_far));
+}
+
+TEST(CellLocationHistogram, CountsCellsPerBin) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 100;
+  const Design d = generate_design(cfg);
+  const GridMap hist = cell_location_histogram(d, 8, 8);
+  EXPECT_DOUBLE_EQ(hist.sum(), 100.0);
+}
+
+}  // namespace
+}  // namespace laco

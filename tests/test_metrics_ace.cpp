@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "metrics/ace.hpp"
+#include "nn/autograd.hpp"
+#include "nn/ops.hpp"
+#include "train/congestion_trainer.hpp"
+
+namespace laco {
+namespace {
+
+TEST(Ace, TopFractionMeans) {
+  GridMap m(10, 10, Rect{0, 0, 1, 1});
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = static_cast<double>(i);  // 0..99
+  // Top 5% of 100 values = {99, 98, 97, 96, 95}.
+  EXPECT_DOUBLE_EQ(ace(m, 0.05), (99 + 98 + 97 + 96 + 95) / 5.0);
+  // Top 1% = {99}.
+  EXPECT_DOUBLE_EQ(ace(m, 0.01), 99.0);
+  // Whole map.
+  EXPECT_DOUBLE_EQ(ace(m, 1.0), m.mean());
+}
+
+TEST(Ace, FractionBelowOneCellClampsToOne) {
+  GridMap m(4, 1, Rect{0, 0, 1, 1});
+  m.at(3, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(ace(m, 0.001), 7.0);
+}
+
+TEST(Ace, ProfileIsMonotoneNonIncreasing) {
+  GridMap m(16, 16, Rect{0, 0, 1, 1});
+  Rng rng(5);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = rng.uniform(0.0, 2.0);
+  const AceProfile p = ace_profile(m);
+  EXPECT_GE(p.ace_05, p.ace_1);
+  EXPECT_GE(p.ace_1, p.ace_2);
+  EXPECT_GE(p.ace_2, p.ace_5);
+  EXPECT_GE(p.ace_5, 0.0);
+}
+
+TEST(Ace, RejectsBadFraction) {
+  GridMap m(2, 2, Rect{0, 0, 1, 1});
+  EXPECT_THROW(ace(m, 0.0), std::invalid_argument);
+  EXPECT_THROW(ace(m, 1.5), std::invalid_argument);
+}
+
+TEST(StackBatch, ForwardAndShape) {
+  nn::Tensor a = nn::Tensor::from_data({1, 2, 1, 1}, {1, 2});
+  nn::Tensor b = nn::Tensor::from_data({2, 2, 1, 1}, {3, 4, 5, 6});
+  nn::Tensor s = nn::stack_batch({a, b});
+  EXPECT_EQ(s.shape(), (nn::Shape{3, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(s.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(s.data()[5], 6.0f);
+  nn::Tensor c = nn::Tensor::from_data({1, 3, 1, 1}, {0, 0, 0});
+  EXPECT_THROW(nn::stack_batch({a, c}), std::invalid_argument);
+  EXPECT_THROW(nn::stack_batch({}), std::invalid_argument);
+}
+
+TEST(StackBatch, GradientRoutesToInputs) {
+  nn::Tensor a = nn::Tensor::from_data({1, 2}, {1, 2}, true);
+  nn::Tensor b = nn::Tensor::from_data({1, 2}, {3, 4}, true);
+  nn::Tensor loss = nn::sum(nn::square(nn::stack_batch({a, b})));
+  loss.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 4.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 8.0f);
+}
+
+TEST(BatchTraining, BatchedAndValidatedTrainingConverges) {
+  // Fit f on synthetic identity samples with batch_size > 1 + validation.
+  nn::reset_init_seed(55);
+  CongestionFcnConfig fc;
+  fc.in_channels = 3;
+  fc.base_width = 4;
+  CongestionFcn model(fc);
+  std::vector<CongestionSample> samples;
+  for (unsigned i = 0; i < 8; ++i) {
+    nn::Tensor input = nn::Tensor::zeros({1, 3, 8, 8});
+    nn::fill_uniform(input, 0.0f, 1.0f, 100 + i);
+    CongestionSample sample;
+    sample.label = nn::slice_channels(input, 0, 1).detach();
+    sample.input = input;
+    samples.push_back(std::move(sample));
+  }
+  CongestionTrainerConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 4;
+  tc.validation_fraction = 0.25;
+  const TrainHistory history = train_congestion(model, samples, tc);
+  ASSERT_EQ(history.epoch_losses.size(), 10u);
+  ASSERT_EQ(history.val_losses.size(), 10u);
+  EXPECT_LT(history.epoch_losses.back(), history.epoch_losses.front());
+  EXPECT_GT(history.best_val_loss(), 0.0);
+}
+
+}  // namespace
+}  // namespace laco

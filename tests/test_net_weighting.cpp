@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "placer/net_weighting.hpp"
+#include "router/congestion_eval.hpp"
+
+namespace laco {
+namespace {
+
+NetWeightingOptions tiny_options() {
+  NetWeightingOptions nw;
+  nw.rounds = 2;
+  nw.placer.bin_nx = 12;
+  nw.placer.bin_ny = 12;
+  nw.placer.max_iterations = 120;
+  nw.placer.min_iterations = 50;
+  nw.router.grid.nx = 16;
+  nw.router.grid.ny = 16;
+  return nw;
+}
+
+TEST(NetWeighting, RestoresOriginalWeights) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 250;
+  cfg.seed = 4;
+  Design d = generate_design(cfg);
+  std::vector<double> weights;
+  for (const Net& n : d.nets()) weights.push_back(n.weight);
+  const NetWeightingResult result = run_net_weighting_placement(d, tiny_options());
+  EXPECT_EQ(result.rounds_run, 2);
+  for (std::size_t n = 0; n < d.num_nets(); ++n) {
+    EXPECT_DOUBLE_EQ(d.net(static_cast<NetId>(n)).weight, weights[n]);
+  }
+}
+
+TEST(NetWeighting, ReweightsOnDenseDesign) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 400;
+  cfg.target_utilization = 0.85;
+  cfg.seed = 6;
+  Design d = generate_design(cfg);
+  NetWeightingOptions nw = tiny_options();
+  nw.rounds = 3;
+  nw.utilization_threshold = 0.5;
+  const NetWeightingResult result = run_net_weighting_placement(d, nw);
+  EXPECT_GT(result.reweighted_fraction, 0.0);
+  EXPECT_GT(result.mean_weight, 1.0);
+  EXPECT_EQ(result.overflow_per_round.size(), 3u);
+}
+
+TEST(NetWeighting, PlacementRemainsLegalizable) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 300;
+  cfg.seed = 8;
+  Design d = generate_design(cfg);
+  run_net_weighting_placement(d, tiny_options());
+  GlobalRouterConfig rc;
+  rc.grid.nx = 16;
+  rc.grid.ny = 16;
+  const PlacementEvaluation eval = evaluate_placement(d, rc);
+  EXPECT_EQ(eval.legality_violations, 0u);
+}
+
+TEST(NetWeighting, CapBoundsWeights) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 300;
+  cfg.target_utilization = 0.9;
+  Design d = generate_design(cfg);
+  NetWeightingOptions nw = tiny_options();
+  nw.rounds = 4;
+  nw.utilization_threshold = 0.1;  // reweight aggressively
+  nw.growth_rate = 10.0;
+  nw.max_weight = 2.0;
+  // Observe weights mid-flight via an observer on the last round's
+  // placer? Simpler: rely on the invariant that restored weights match
+  // and the run completes without the objective exploding.
+  const NetWeightingResult result = run_net_weighting_placement(d, nw);
+  EXPECT_LE(result.mean_weight, 2.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace laco

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bookshelf_io.hpp"
+#include "netlist/design.hpp"
+#include "netlist/design_stats.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/ispd2015_suite.hpp"
+
+namespace laco {
+namespace {
+
+Design make_toy() {
+  Design d("toy", Rect{0, 0, 10, 10}, 1.0);
+  Cell a;
+  a.name = "a";
+  a.width = 1;
+  a.height = 1;
+  a.x = 1;
+  a.y = 1;
+  Cell b = a;
+  b.name = "b";
+  b.x = 5;
+  b.y = 7;
+  Cell m;
+  m.name = "m";
+  m.kind = CellKind::kMacro;
+  m.width = 3;
+  m.height = 3;
+  m.x = 6;
+  m.y = 0;
+  m.fixed = true;
+  const CellId ca = d.add_cell(a);
+  const CellId cb = d.add_cell(b);
+  d.add_cell(m);
+  const NetId n = d.add_net("n1");
+  d.add_pin(ca, n, 0.5, 0.5);
+  d.add_pin(cb, n, 0.5, 0.5);
+  return d;
+}
+
+TEST(Design, BasicAccessors) {
+  const Design d = make_toy();
+  EXPECT_EQ(d.num_cells(), 3u);
+  EXPECT_EQ(d.num_movable(), 2u);
+  EXPECT_EQ(d.num_nets(), 1u);
+  EXPECT_EQ(d.num_pins(), 2u);
+  EXPECT_EQ(d.net(0).degree(), 2);
+  EXPECT_EQ(d.pin_position(0), (Point{1.5, 1.5}));
+}
+
+TEST(Design, HpwlMatchesManualComputation) {
+  const Design d = make_toy();
+  // Pins at (1.5, 1.5) and (5.5, 7.5): HPWL = 4 + 6 = 10.
+  EXPECT_DOUBLE_EQ(d.hpwl(), 10.0);
+}
+
+TEST(Design, MovablePositionRoundTrip) {
+  Design d = make_toy();
+  std::vector<double> x, y;
+  d.get_movable_positions(x, y);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+  x[0] = 3.0;
+  y[0] = 4.0;
+  d.set_movable_positions(x, y);
+  EXPECT_DOUBLE_EQ(d.cell(0).center().x, 3.0);
+  EXPECT_DOUBLE_EQ(d.cell(0).center().y, 4.0);
+}
+
+TEST(Design, SetPositionsClampsToCore) {
+  Design d = make_toy();
+  std::vector<double> x{100.0, -50.0}, y{100.0, -50.0};
+  d.set_movable_positions(x, y);
+  for (const CellId cid : d.movable_cells()) {
+    const Rect r = d.cell(cid).rect();
+    EXPECT_GE(r.xl, d.core().xl - 1e-12);
+    EXPECT_LE(r.xh, d.core().xh + 1e-12);
+    EXPECT_GE(r.yl, d.core().yl - 1e-12);
+    EXPECT_LE(r.yh, d.core().yh + 1e-12);
+  }
+}
+
+TEST(Design, UtilizationAccountsForMacros) {
+  const Design d = make_toy();
+  // movable area 2, core 100, macro 9 -> 2 / 91.
+  EXPECT_NEAR(d.utilization(), 2.0 / 91.0, 1e-12);
+}
+
+TEST(Design, AddPinValidation) {
+  Design d = make_toy();
+  EXPECT_THROW(d.add_pin(99, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(d.add_pin(0, 99, 0, 0), std::out_of_range);
+}
+
+TEST(Generator, ProducesRequestedScale) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 500;
+  cfg.seed = 3;
+  const Design d = generate_design(cfg);
+  const DesignStats stats = compute_stats(d);
+  EXPECT_EQ(stats.num_movable, 500u);
+  EXPECT_EQ(stats.num_macros, static_cast<std::size_t>(cfg.num_macros));
+  EXPECT_NEAR(static_cast<double>(stats.num_nets), 500.0, 1.0);
+  EXPECT_GE(stats.avg_net_degree, 2.0);
+  EXPECT_LE(stats.max_net_degree, cfg.max_net_degree);
+}
+
+TEST(Generator, Deterministic) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 200;
+  cfg.seed = 11;
+  const Design a = generate_design(cfg);
+  const Design b = generate_design(cfg);
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells()[i].x, b.cells()[i].x);
+    EXPECT_DOUBLE_EQ(a.cells()[i].width, b.cells()[i].width);
+  }
+}
+
+TEST(Generator, UtilizationNearTarget) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 1000;
+  cfg.target_utilization = 0.7;
+  const Design d = generate_design(cfg);
+  EXPECT_NEAR(d.utilization(), 0.7, 0.1);
+}
+
+TEST(Generator, MacrosInsideCoreAndDisjoint) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 400;
+  cfg.num_macros = 5;
+  cfg.macro_area_fraction = 0.2;
+  const Design d = generate_design(cfg);
+  std::vector<Rect> macros;
+  for (const Cell& c : d.cells()) {
+    if (c.kind != CellKind::kMacro) continue;
+    EXPECT_GE(c.x, d.core().xl - 1e-9);
+    EXPECT_LE(c.x + c.width, d.core().xh + 1e-9);
+    for (const Rect& other : macros) {
+      EXPECT_DOUBLE_EQ(overlap_area(c.rect(), other), 0.0);
+    }
+    macros.push_back(c.rect());
+  }
+}
+
+TEST(Generator, AllNetsHaveAtLeastTwoPins) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 300;
+  const Design d = generate_design(cfg);
+  for (const Net& n : d.nets()) {
+    EXPECT_GE(n.degree(), 2);
+  }
+}
+
+TEST(Ispd2015Suite, HasTwentyDesignsInPaperOrder) {
+  const auto names = ispd2015_design_names();
+  ASSERT_EQ(names.size(), 20u);
+  EXPECT_EQ(names.front(), "des_perf_1");
+  EXPECT_EQ(names.back(), "superblue19");
+  EXPECT_EQ(ispd2015_first8_names().size(), 8u);
+}
+
+TEST(Ispd2015Suite, SpecLookup) {
+  const BenchmarkSpec& spec = ispd2015_spec("superblue12");
+  EXPECT_EQ(spec.paper_cells_k, 1293);
+  EXPECT_THROW(ispd2015_spec("nonexistent"), std::out_of_range);
+}
+
+TEST(Ispd2015Suite, ScaledAnalogMatchesRelativeSizes) {
+  const Design small = make_ispd2015_analog("fft_1", 0.01);
+  const Design large = make_ispd2015_analog("superblue12", 0.01);
+  // superblue12 is ~37x fft_1 in the paper; expect the analogs to keep
+  // a large ratio.
+  EXPECT_GT(static_cast<double>(large.num_movable()) / small.num_movable(), 20.0);
+}
+
+TEST(Ispd2015Suite, SeedOffsetChangesInstance) {
+  const Design a = make_ispd2015_analog("fft_1", 0.01, 0);
+  const Design b = make_ispd2015_analog("fft_1", 0.01, 1);
+  EXPECT_EQ(a.num_movable(), b.num_movable());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_cells() && !any_diff; ++i) {
+    any_diff = a.cells()[i].x != b.cells()[i].x;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BookshelfIo, RoundTrip) {
+  const Design d = make_toy();
+  std::stringstream ss;
+  write_bookshelf(d, ss);
+  const Design r = read_bookshelf(ss);
+  EXPECT_EQ(r.name(), "toy");
+  EXPECT_EQ(r.num_cells(), d.num_cells());
+  EXPECT_EQ(r.num_nets(), d.num_nets());
+  EXPECT_EQ(r.num_pins(), d.num_pins());
+  EXPECT_DOUBLE_EQ(r.hpwl(), d.hpwl());
+  EXPECT_EQ(r.cell(2).kind, CellKind::kMacro);
+  EXPECT_TRUE(r.cell(2).fixed);
+}
+
+TEST(BookshelfIo, RoundTripGeneratedDesign) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 150;
+  const Design d = generate_design(cfg);
+  std::stringstream ss;
+  write_bookshelf(d, ss);
+  const Design r = read_bookshelf(ss);
+  EXPECT_EQ(r.num_cells(), d.num_cells());
+  EXPECT_NEAR(r.hpwl(), d.hpwl(), 1e-6 * d.hpwl());
+}
+
+TEST(BookshelfIo, RejectsMalformedInput) {
+  std::stringstream no_core("CELL a std 1 1 0 0 0\n");
+  EXPECT_THROW(read_bookshelf(no_core), std::runtime_error);
+  std::stringstream bad_tag("CORE 0 0 1 1 1\nBOGUS x\n");
+  EXPECT_THROW(read_bookshelf(bad_tag), std::runtime_error);
+  std::stringstream pin_before_net("CORE 0 0 1 1 1\nPIN 0 0 0\n");
+  EXPECT_THROW(read_bookshelf(pin_before_net), std::runtime_error);
+}
+
+TEST(DesignStats, ToStringContainsCounts) {
+  const DesignStats stats = compute_stats(make_toy());
+  const std::string s = to_string(stats);
+  EXPECT_NE(s.find("cells=3"), std::string::npos);
+  EXPECT_NE(s.find("nets=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laco

@@ -1,0 +1,170 @@
+// Additional nn edge cases: odd shapes, grouped transposed convolution,
+// output padding, instance-norm-like group counts, optimizer behavior on
+// a non-convex function, and autograd reuse patterns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/autograd.hpp"
+#include "nn/layers.hpp"
+#include "nn/ops.hpp"
+#include "nn/optimizer.hpp"
+
+namespace laco::nn {
+namespace {
+
+Tensor randn(Shape shape, unsigned seed, float lo = -1.0f, float hi = 1.0f) {
+  Tensor t = Tensor::zeros(std::move(shape));
+  fill_uniform(t, lo, hi, seed);
+  return t;
+}
+
+TEST(ConvEdge, OneByOneKernel) {
+  Tensor x = randn({1, 3, 5, 5}, 1);
+  Tensor w = randn({4, 3, 1, 1}, 2);
+  Tensor y = conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 5, 5}));
+  // float32 + squared loss: finite differences carry a few % error.
+  EXPECT_LT(gradient_check([&](const Tensor& t) { return sum(square(conv2d(t, w, Tensor()))); }, x),
+            5e-2);
+}
+
+TEST(ConvEdge, NonSquareSpatialDims) {
+  Tensor x = randn({2, 2, 6, 10}, 3);
+  Tensor w = randn({2, 2, 3, 3}, 4);
+  Tensor y = conv2d(x, w, Tensor(), 2, 1);
+  EXPECT_EQ(y.shape(), (Shape{2, 2, 3, 5}));
+}
+
+TEST(ConvEdge, RejectsInconsistentGroups) {
+  Tensor x = randn({1, 3, 4, 4}, 5);
+  Tensor w = randn({2, 1, 3, 3}, 6);
+  EXPECT_THROW(conv2d(x, w, Tensor(), 1, 1, 2), std::invalid_argument);
+}
+
+TEST(ConvEdge, RejectsTooSmallInput) {
+  Tensor x = randn({1, 1, 2, 2}, 7);
+  Tensor w = randn({1, 1, 5, 5}, 8);
+  EXPECT_THROW(conv2d(x, w, Tensor(), 1, 0), std::invalid_argument);
+}
+
+TEST(ConvTransposeEdge, OutputPadding) {
+  Tensor x = randn({1, 2, 3, 3}, 9);
+  Tensor w = randn({2, 2, 3, 3}, 10);
+  Tensor y = conv_transpose2d(x, w, Tensor(), 2, 1, 1);
+  // (3-1)*2 - 2 + 3 + 1 = 6.
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 6, 6}));
+}
+
+TEST(ConvTransposeEdge, GroupedGradCheck) {
+  Tensor x = randn({1, 4, 3, 3}, 11);
+  Tensor w = randn({4, 1, 2, 2}, 12);  // groups=4 -> Cout = 4
+  EXPECT_LT(gradient_check(
+                [&](const Tensor& t) {
+                  return sum(square(conv_transpose2d(t, w, Tensor(), 2, 0, 0, 4)));
+                },
+                x),
+            2e-2);
+  EXPECT_LT(gradient_check(
+                [&](const Tensor& t) {
+                  return sum(square(conv_transpose2d(x, t, Tensor(), 2, 0, 0, 4)));
+                },
+                w),
+            2e-2);
+}
+
+TEST(GroupNormEdge, InstanceNormAndLayerNormLimits) {
+  Tensor x = randn({2, 4, 3, 3}, 13);
+  Tensor gamma = Tensor::full({4}, 1.0f);
+  Tensor beta = Tensor::zeros({4});
+  // groups == channels (instance norm) and groups == 1 (layer norm).
+  EXPECT_NO_THROW(group_norm(x, 4, gamma, beta));
+  EXPECT_NO_THROW(group_norm(x, 1, gamma, beta));
+  EXPECT_THROW(group_norm(x, 3, gamma, beta), std::invalid_argument);
+}
+
+TEST(UpsampleEdge, DownscaleAlsoWorks) {
+  Tensor x = randn({1, 1, 8, 8}, 14, 0.0f, 1.0f);
+  Tensor y = upsample_bilinear(x, 3, 3);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+  // Values stay within the input range (bilinear is a convex combination).
+  for (const float v : y.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(UpsampleEdge, IdentityWhenSameSize) {
+  Tensor x = randn({1, 2, 4, 4}, 15);
+  Tensor y = upsample_bilinear(x, 4, 4);
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    EXPECT_NEAR(y.data()[i], x.data()[i], 1e-6);
+  }
+}
+
+TEST(Autograd, RepeatedBackwardAccumulatesIntoLeaves) {
+  Tensor x = Tensor::scalar(2.0f, true);
+  for (int i = 0; i < 3; ++i) {
+    Tensor loss = square(x);
+    loss.backward();
+  }
+  // 3 × d(x²)/dx = 3 × 4.
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(Autograd, SharedSubexpressionGradIsCorrect) {
+  // y = x*x; loss = sum(y + y) => dloss/dx = 4x.
+  Tensor x = Tensor::from_data({2}, {1.5f, -2.0f}, true);
+  Tensor y = mul(x, x);
+  Tensor loss = sum(add(y, y));
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -8.0f);
+}
+
+TEST(Optimizer, AdamHandlesUntouchedParameters) {
+  // A parameter that never receives gradient must not be perturbed.
+  Tensor used = Tensor::scalar(1.0f, true);
+  Tensor unused = Tensor::scalar(5.0f, true);
+  Adam opt({used, unused}, 0.1f);
+  Tensor loss = square(used);
+  loss.backward();
+  opt.step();
+  EXPECT_FLOAT_EQ(unused.data()[0], 5.0f);
+  EXPECT_NE(used.data()[0], 1.0f);
+}
+
+TEST(Optimizer, AdamEscapesPlateauOnQuartic) {
+  // f(w) = (w² - 1)², minima at ±1; start near the flat saddle at 0.
+  Tensor w = Tensor::scalar(0.05f, true);
+  Adam opt({w}, 0.05f);
+  for (int i = 0; i < 400; ++i) {
+    opt.zero_grad();
+    Tensor f = square(add_scalar(square(w), -1.0f));
+    f.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(std::abs(w.data()[0]), 1.0f, 1e-2);
+}
+
+TEST(Layers, InitIsSeedControlled) {
+  reset_init_seed(100);
+  Conv2d a(2, 2, 3);
+  reset_init_seed(100);
+  Conv2d b(2, 2, 3);
+  EXPECT_EQ(a.parameters()[0].data(), b.parameters()[0].data());
+  Conv2d c(2, 2, 3);  // different (advanced) seed
+  EXPECT_NE(a.parameters()[0].data(), c.parameters()[0].data());
+}
+
+TEST(TensorEdge, ZeroSizedDimsRejectedByOps) {
+  EXPECT_EQ(Tensor::zeros({0}).numel(), 0);
+  Tensor empty = Tensor::zeros({0});
+  Tensor loss = sum(empty);
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+}
+
+}  // namespace
+}  // namespace laco::nn

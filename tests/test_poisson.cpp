@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "placer/poisson.hpp"
+
+namespace laco {
+namespace {
+
+TEST(Poisson, ConstantDensityGivesZeroField) {
+  PoissonSolver solver(16, 16, 1.0, 1.0);
+  std::vector<double> rho(16 * 16, 3.0);
+  const auto sol = solver.solve(rho);
+  for (const double v : sol.field_x) EXPECT_NEAR(v, 0.0, 1e-9);
+  for (const double v : sol.field_y) EXPECT_NEAR(v, 0.0, 1e-9);
+  for (const double v : sol.potential) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Poisson, SingleModeAnalyticSolution) {
+  // rho(x) = cos(pi x / L): psi = rho / (pi/L)^2 and E_x = sin(pi x/L)/(pi/L).
+  const int n = 32;
+  const double length = 2.0;
+  PoissonSolver solver(n, n, length, length);
+  std::vector<double> rho(static_cast<std::size_t>(n) * n);
+  const double w = std::numbers::pi / length;
+  for (int l = 0; l < n; ++l) {
+    for (int k = 0; k < n; ++k) {
+      const double x = (k + 0.5) * length / n;
+      rho[static_cast<std::size_t>(l) * n + k] = std::cos(w * x);
+    }
+  }
+  const auto sol = solver.solve(rho);
+  for (int l = 0; l < n; ++l) {
+    for (int k = 0; k < n; ++k) {
+      const double x = (k + 0.5) * length / n;
+      const std::size_t i = static_cast<std::size_t>(l) * n + k;
+      EXPECT_NEAR(sol.potential[i], std::cos(w * x) / (w * w), 1e-6);
+      EXPECT_NEAR(sol.field_x[i], std::sin(w * x) / w, 1e-6);
+      EXPECT_NEAR(sol.field_y[i], 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Poisson, FieldIsNegativeGradientOfPotential) {
+  // E ≈ −∇ψ via central differences away from the boundary.
+  const int n = 32;
+  PoissonSolver solver(n, n, 1.0, 1.0);
+  std::vector<double> rho(static_cast<std::size_t>(n) * n, 0.0);
+  for (int l = 12; l < 20; ++l) {
+    for (int k = 8; k < 16; ++k) rho[static_cast<std::size_t>(l) * n + k] = 1.0;
+  }
+  const auto sol = solver.solve(rho);
+  const double h = 1.0 / n;
+  for (int l = 2; l < n - 2; ++l) {
+    for (int k = 2; k < n - 2; ++k) {
+      const std::size_t i = static_cast<std::size_t>(l) * n + k;
+      const double dpsi_dx = (sol.potential[i + 1] - sol.potential[i - 1]) / (2 * h);
+      const double dpsi_dy = (sol.potential[i + n] - sol.potential[i - n]) / (2 * h);
+      // Central differences of a sharp-edged source carry O(h²)
+      // discretization error of their own; 15% + floor absorbs it.
+      EXPECT_NEAR(sol.field_x[i], -dpsi_dx, 0.15 * std::abs(dpsi_dx) + 0.01);
+      EXPECT_NEAR(sol.field_y[i], -dpsi_dy, 0.15 * std::abs(dpsi_dy) + 0.01);
+    }
+  }
+}
+
+TEST(Poisson, FieldPushesAwayFromDensityPeak) {
+  const int n = 16;
+  PoissonSolver solver(n, n, 1.0, 1.0);
+  std::vector<double> rho(static_cast<std::size_t>(n) * n, 0.0);
+  rho[static_cast<std::size_t>(8) * n + 8] = 10.0;  // peak at (8, 8)
+  const auto sol = solver.solve(rho);
+  EXPECT_GT(sol.field_x[static_cast<std::size_t>(8) * n + 11], 0.0);
+  EXPECT_LT(sol.field_x[static_cast<std::size_t>(8) * n + 5], 0.0);
+  EXPECT_GT(sol.field_y[static_cast<std::size_t>(11) * n + 8], 0.0);
+  EXPECT_LT(sol.field_y[static_cast<std::size_t>(5) * n + 8], 0.0);
+}
+
+TEST(Poisson, LinearInDensity) {
+  const int n = 8;
+  PoissonSolver solver(n, n, 1.0, 1.0);
+  std::vector<double> rho(static_cast<std::size_t>(n) * n, 0.0);
+  rho[10] = 1.0;
+  rho[40] = -2.0;
+  const auto a = solver.solve(rho);
+  for (double& v : rho) v *= 3.0;
+  const auto b = solver.solve(rho);
+  for (std::size_t i = 0; i < a.potential.size(); ++i) {
+    EXPECT_NEAR(b.potential[i], 3.0 * a.potential[i], 1e-9);
+    EXPECT_NEAR(b.field_x[i], 3.0 * a.field_x[i], 1e-9);
+  }
+}
+
+TEST(Poisson, RejectsBadSizes) {
+  EXPECT_THROW(PoissonSolver(0, 4, 1, 1), std::invalid_argument);
+  EXPECT_THROW(PoissonSolver(4, 4, 0, 1), std::invalid_argument);
+  PoissonSolver solver(4, 4, 1, 1);
+  EXPECT_THROW(solver.solve(std::vector<double>(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laco

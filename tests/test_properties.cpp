@@ -1,0 +1,216 @@
+// Property-based sweeps: invariants that must hold across the whole
+// generated design family, parameterized over seeds and configurations
+// (TEST_P). These complement the example-based unit tests with breadth.
+#include <gtest/gtest.h>
+
+#include "features/feature_stack.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "metrics/nrms.hpp"
+#include "metrics/ssim.hpp"
+#include "netlist/bookshelf_io.hpp"
+#include "netlist/generator.hpp"
+#include "placer/global_placer.hpp"
+#include "placer/legalizer.hpp"
+#include "router/congestion_eval.hpp"
+#include "router/global_router.hpp"
+
+#include <sstream>
+
+namespace laco {
+namespace {
+
+struct DesignParams {
+  int cells;
+  int macros;
+  double macro_fraction;
+  double utilization;
+  unsigned seed;
+};
+
+void PrintTo(const DesignParams& p, std::ostream* os) {
+  *os << "cells" << p.cells << "_m" << p.macros << "_seed" << p.seed;
+}
+
+class DesignFamily : public ::testing::TestWithParam<DesignParams> {
+ protected:
+  static Design make(const DesignParams& p) {
+    GeneratorConfig cfg;
+    cfg.num_cells = p.cells;
+    cfg.num_macros = p.macros;
+    cfg.macro_area_fraction = p.macro_fraction;
+    cfg.target_utilization = p.utilization;
+    cfg.seed = p.seed;
+    return generate_design(cfg);
+  }
+};
+
+TEST_P(DesignFamily, StructuralInvariants) {
+  const Design d = make(GetParam());
+  // Every pin references a valid cell and net; every net has >= 2 pins.
+  for (const Pin& pin : d.pins()) {
+    ASSERT_GE(pin.cell, 0);
+    ASSERT_LT(static_cast<std::size_t>(pin.cell), d.num_cells());
+    ASSERT_GE(pin.net, 0);
+    ASSERT_LT(static_cast<std::size_t>(pin.net), d.num_nets());
+  }
+  for (const Net& net : d.nets()) {
+    EXPECT_GE(net.degree(), 2);
+  }
+  // Pin offsets stay inside their cell.
+  for (PinId pid = 0; pid < static_cast<PinId>(d.num_pins()); ++pid) {
+    const Pin& pin = d.pin(pid);
+    const Cell& cell = d.cell(pin.cell);
+    EXPECT_GE(pin.offset_x, -1e-9);
+    EXPECT_LE(pin.offset_x, cell.width + 1e-9);
+    EXPECT_GE(pin.offset_y, -1e-9);
+    EXPECT_LE(pin.offset_y, cell.height + 1e-9);
+  }
+  // Movable list is exactly the non-fixed cells.
+  std::size_t movable = 0;
+  for (const Cell& cell : d.cells()) movable += cell.fixed ? 0 : 1;
+  EXPECT_EQ(movable, d.num_movable());
+}
+
+TEST_P(DesignFamily, FeatureMapsAreFiniteAndSigned) {
+  const Design d = make(GetParam());
+  FeatureExtractor ex(FeatureConfig{16, 16, QuasiVoxScheme::kWeightedSum, false});
+  const FeatureFrame frame = ex.compute(d);
+  for (int c = 0; c < 3; ++c) {
+    for (const double v : frame.channel(c).data()) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0);  // RUDY, PinRUDY, MacroRegion are non-negative
+    }
+  }
+  // MacroRegion is binary.
+  for (const double v : frame.macro_region.data()) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST_P(DesignFamily, BookshelfRoundTripPreservesHpwl) {
+  const Design d = make(GetParam());
+  std::stringstream ss;
+  write_bookshelf(d, ss);
+  const Design r = read_bookshelf(ss);
+  EXPECT_EQ(r.num_pins(), d.num_pins());
+  EXPECT_NEAR(r.hpwl(), d.hpwl(), 1e-9 * std::max(1.0, d.hpwl()));
+}
+
+TEST_P(DesignFamily, LegalizationAlwaysSucceedsAndIsLegal) {
+  Design d = make(GetParam());
+  // Worst case input: everything clumped at the center.
+  std::vector<double> x(d.num_movable(), d.core().center().x);
+  std::vector<double> y(d.num_movable(), d.core().center().y);
+  d.set_movable_positions(x, y);
+  const LegalizeResult result = legalize(d);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(count_legality_violations(d), 0u);
+}
+
+TEST_P(DesignFamily, RouterConservesSegmentDemand) {
+  const Design d = make(GetParam());
+  GlobalRouterConfig cfg;
+  cfg.grid.nx = 16;
+  cfg.grid.ny = 16;
+  cfg.rrr_rounds = 0;  // pattern routing only: demand exactly = path length
+  GlobalRouter router(d, cfg);
+  const RoutingResult result = router.route();
+  double total_usage = 0.0;
+  for (int l = 0; l < 16; ++l) {
+    for (int k = 0; k + 1 < 16; ++k) total_usage += router.grid().h_usage(k, l);
+  }
+  for (int l = 0; l + 1 < 16; ++l) {
+    for (int k = 0; k < 16; ++k) total_usage += router.grid().v_usage(k, l);
+  }
+  // Every routed edge contributes exactly 1 track of usage.
+  double expected_edges = 0.0;
+  expected_edges += result.routed_wirelength / router.grid().gcell_w();  // approx if w==h
+  EXPECT_GT(total_usage, 0.0);
+  // Exact identity: routed WL = Σ edge-steps × gcell size; with square
+  // gcells usage count equals WL / gcell size.
+  EXPECT_NEAR(total_usage, result.routed_wirelength / router.grid().gcell_w(),
+              1e-6 * total_usage + 1e-6);
+}
+
+TEST_P(DesignFamily, PlacementPipelineEndsLegalAndRouted) {
+  Design d = make(GetParam());
+  GlobalPlacerOptions opts;
+  opts.bin_nx = 12;
+  opts.bin_ny = 12;
+  opts.max_iterations = 120;
+  opts.min_iterations = 60;
+  GlobalPlacer placer(d, opts);
+  placer.run();
+  GlobalRouterConfig rc;
+  rc.grid.nx = 16;
+  rc.grid.ny = 16;
+  const PlacementEvaluation eval = evaluate_placement(d, rc);
+  EXPECT_EQ(eval.legality_violations, 0u);
+  EXPECT_GT(eval.routed_wirelength, 0.0);
+  EXPECT_TRUE(std::isfinite(eval.wcs_h));
+  EXPECT_TRUE(std::isfinite(eval.wcs_v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DesignFamily,
+    ::testing::Values(DesignParams{150, 0, 0.0, 0.6, 1}, DesignParams{150, 2, 0.15, 0.7, 2},
+                      DesignParams{400, 4, 0.25, 0.8, 3}, DesignParams{400, 1, 0.05, 0.65, 4},
+                      DesignParams{800, 6, 0.3, 0.75, 5}, DesignParams{250, 3, 0.2, 0.85, 6}));
+
+// --- metric properties over random map pairs ----------------------------
+
+class MetricPairs : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MetricPairs, MetricAxioms) {
+  Rng rng(GetParam());
+  GridMap truth(12, 12, Rect{0, 0, 1, 1});
+  GridMap pred(12, 12, Rect{0, 0, 1, 1});
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.uniform(0.0, 2.0);
+    pred[i] = rng.uniform(0.0, 2.0);
+  }
+  // NRMS: non-negative, zero iff identical.
+  EXPECT_GE(nrms(pred, truth), 0.0);
+  EXPECT_DOUBLE_EQ(nrms(truth, truth), 0.0);
+  // SSIM: bounded by 1, symmetric in its two arguments.
+  EXPECT_LE(ssim(pred, truth), 1.0 + 1e-9);
+  EXPECT_NEAR(ssim(pred, truth), ssim(truth, pred), 1e-12);
+  // KL: non-negative (Gibbs), zero on identical distributions.
+  EXPECT_GE(kl_divergence(pred, truth), -1e-12);
+  EXPECT_NEAR(kl_divergence(pred, pred), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPairs, ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// --- wirelength property: WA upper-bounds smoothness --------------------
+
+class WirelengthGamma : public ::testing::TestWithParam<double> {};
+
+TEST_P(WirelengthGamma, GradientMatchesFiniteDifferenceAcrossGamma) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 40;
+  cfg.seed = 12;
+  Design d = generate_design(cfg);
+  WirelengthModel model(GetParam());
+  std::vector<double> gx(d.num_cells(), 0.0), gy(d.num_cells(), 0.0);
+  model.evaluate_with_grad(d, gx, gy);
+  const double eps = 1e-6;
+  // Probe a handful of movable cells.
+  for (std::size_t i = 0; i < d.movable_cells().size(); i += 13) {
+    const CellId cid = d.movable_cells()[i];
+    Cell& cell = d.cell(cid);
+    const double saved = cell.y;
+    cell.y = saved + eps;
+    const double up = model.evaluate(d);
+    cell.y = saved - eps;
+    const double down = model.evaluate(d);
+    cell.y = saved;
+    EXPECT_NEAR((up - down) / (2 * eps), gy[static_cast<std::size_t>(cid)],
+                1e-4 * std::max(1.0, std::abs(gy[static_cast<std::size_t>(cid)])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, WirelengthGamma, ::testing::Values(0.1, 0.5, 2.0, 8.0));
+
+}  // namespace
+}  // namespace laco

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "router/congestion_eval.hpp"
+#include "router/global_router.hpp"
+#include "router/maze_route.hpp"
+#include "router/net_decomposition.hpp"
+#include "router/pattern_route.hpp"
+
+namespace laco {
+namespace {
+
+Design empty_design(int n = 16) {
+  Design d("r", Rect{0, 0, static_cast<double>(n), static_cast<double>(n)}, 1.0);
+  Cell c;
+  c.width = 1;
+  c.height = 1;
+  d.add_cell(c);  // grid graph construction needs a design, not its cells
+  return d;
+}
+
+GridGraph make_grid(const Design& d, int n = 16) {
+  GridGraphConfig cfg;
+  cfg.nx = n;
+  cfg.ny = n;
+  return GridGraph(d, cfg);
+}
+
+TEST(GridGraph, CapacityUniformWithoutMacros) {
+  const Design d = empty_design();
+  const GridGraph g = make_grid(d);
+  const double cap = g.h_capacity(0, 0);
+  EXPECT_GT(cap, 0.0);
+  for (int l = 0; l < g.ny(); ++l) {
+    for (int k = 0; k + 1 < g.nx(); ++k) EXPECT_DOUBLE_EQ(g.h_capacity(k, l), cap);
+  }
+}
+
+TEST(GridGraph, MacroDeratesCapacity) {
+  Design d = empty_design();
+  Cell macro;
+  macro.kind = CellKind::kMacro;
+  macro.fixed = true;
+  macro.width = 6;
+  macro.height = 6;
+  macro.x = 4;
+  macro.y = 4;
+  d.add_cell(macro);
+  const GridGraph g = make_grid(d);
+  EXPECT_LT(g.h_capacity(6, 6), g.h_capacity(0, 0));
+  EXPECT_LT(g.v_capacity(6, 6), g.v_capacity(0, 0));
+}
+
+TEST(GridGraph, UsageAndOverflowBookkeeping) {
+  const Design d = empty_design();
+  GridGraph g = make_grid(d);
+  const double cap = g.h_capacity(3, 3);
+  g.add_h_usage(3, 3, cap + 2.0);
+  EXPECT_DOUBLE_EQ(g.total_h_overflow(), 2.0);
+  EXPECT_NEAR(g.wcs_h(), 2.0 / cap, 1e-12);
+  EXPECT_DOUBLE_EQ(g.total_v_overflow(), 0.0);
+  g.clear_usage();
+  EXPECT_DOUBLE_EQ(g.total_h_overflow(), 0.0);
+}
+
+TEST(GridGraph, CongestionMapReflectsUtilization) {
+  const Design d = empty_design();
+  GridGraph g = make_grid(d);
+  g.add_h_usage(5, 5, g.h_capacity(5, 5));  // fully used edge
+  const GridMap m = g.congestion_map();
+  EXPECT_NEAR(m.at(5, 5), 1.0, 1e-12);
+  EXPECT_NEAR(m.at(6, 5), 1.0, 1e-12);  // shares the edge
+  EXPECT_NEAR(m.at(10, 10), 0.0, 1e-12);
+}
+
+TEST(NetDecomposition, MstHasNMinusOneEdges) {
+  Design d("t", Rect{0, 0, 16, 16}, 1.0);
+  std::vector<CellId> cells;
+  const double px[4] = {1, 14, 1, 14};
+  const double py[4] = {1, 1, 14, 14};
+  const NetId n = d.add_net("n");
+  for (int i = 0; i < 4; ++i) {
+    Cell c;
+    c.width = 1;
+    c.height = 1;
+    c.x = px[i];
+    c.y = py[i];
+    const CellId cid = d.add_cell(c);
+    d.add_pin(cid, n, 0.5, 0.5);
+  }
+  const GridGraph g = make_grid(d);
+  const auto segs = decompose_net(d, d.net(0), g);
+  EXPECT_EQ(segs.size(), 3u);
+}
+
+TEST(NetDecomposition, SameGcellPinsCollapse) {
+  Design d("t", Rect{0, 0, 16, 16}, 1.0);
+  const NetId n = d.add_net("n");
+  for (int i = 0; i < 3; ++i) {
+    Cell c;
+    c.width = 0.2;
+    c.height = 0.2;
+    c.x = 5.0 + 0.2 * i;
+    c.y = 5.0;
+    const CellId cid = d.add_cell(c);
+    d.add_pin(cid, n, 0.1, 0.1);
+  }
+  const GridGraph g = make_grid(d);
+  EXPECT_TRUE(decompose_net(d, d.net(0), g).empty());
+}
+
+TEST(PatternRoute, LRouteLengthIsManhattan) {
+  const Design d = empty_design();
+  const GridGraph g = make_grid(d);
+  const RoutePath path = best_l_route(g, {2, 3}, {7, 9});
+  EXPECT_EQ(path.gcells.size(), 1u + 5 + 6);
+  EXPECT_EQ(path.gcells.front(), (GridIndex{2, 3}));
+  EXPECT_EQ(path.gcells.back(), (GridIndex{7, 9}));
+  // Unit steps only.
+  for (std::size_t i = 1; i < path.gcells.size(); ++i) {
+    const int dk = std::abs(path.gcells[i].k - path.gcells[i - 1].k);
+    const int dl = std::abs(path.gcells[i].l - path.gcells[i - 1].l);
+    EXPECT_EQ(dk + dl, 1);
+  }
+}
+
+TEST(PatternRoute, ZRouteAvoidsCongestedColumn) {
+  const Design d = empty_design();
+  GridGraph g = make_grid(d);
+  // Saturate the vertical edges of the direct L corners so a middle
+  // column Z route becomes cheaper.
+  for (int l = 0; l < 15; ++l) {
+    g.add_v_usage(2, l, 100.0);
+    g.add_v_usage(12, l, 100.0);
+  }
+  const RoutePath z = best_z_route(g, {2, 2}, {12, 12}, 16);
+  // The route should jog through an interior column, not k=2 or k=12.
+  bool uses_interior_vertical = false;
+  for (std::size_t i = 1; i < z.gcells.size(); ++i) {
+    if (z.gcells[i].k == z.gcells[i - 1].k && z.gcells[i].k != 2 && z.gcells[i].k != 12 &&
+        z.gcells[i].l != z.gcells[i - 1].l) {
+      uses_interior_vertical = true;
+    }
+  }
+  EXPECT_TRUE(uses_interior_vertical);
+}
+
+TEST(PatternRoute, CommitAndUncommitConserveUsage) {
+  const Design d = empty_design();
+  GridGraph g = make_grid(d);
+  const RoutePath path = best_l_route(g, {1, 1}, {10, 8});
+  commit_path(g, path, 1.0);
+  double used = 0.0;
+  for (int l = 0; l < g.ny(); ++l) {
+    for (int k = 0; k + 1 < g.nx(); ++k) used += g.h_usage(k, l);
+  }
+  for (int l = 0; l + 1 < g.ny(); ++l) {
+    for (int k = 0; k < g.nx(); ++k) used += g.v_usage(k, l);
+  }
+  EXPECT_DOUBLE_EQ(used, 9 + 7);  // manhattan length in edges
+  commit_path(g, path, -1.0);
+  EXPECT_DOUBLE_EQ(g.total_h_overflow() + g.total_v_overflow(), 0.0);
+  double residual = 0.0;
+  for (int l = 0; l < g.ny(); ++l) {
+    for (int k = 0; k + 1 < g.nx(); ++k) residual += std::abs(g.h_usage(k, l));
+  }
+  EXPECT_DOUBLE_EQ(residual, 0.0);
+}
+
+TEST(MazeRoute, FindsShortestPathInFreeGrid) {
+  const Design d = empty_design();
+  const GridGraph g = make_grid(d);
+  const RoutePath path = maze_route(g, {1, 1}, {9, 5}, 4);
+  EXPECT_EQ(path.gcells.size(), 1u + 8 + 4);
+  EXPECT_EQ(path.gcells.front(), (GridIndex{1, 1}));
+  EXPECT_EQ(path.gcells.back(), (GridIndex{9, 5}));
+}
+
+TEST(MazeRoute, DetoursAroundCongestion) {
+  const Design d = empty_design();
+  GridGraph g = make_grid(d);
+  // Build a congested vertical wall at k=8 spanning most rows.
+  for (int l = 0; l < 14; ++l) {
+    g.add_h_usage(7, l, 1000.0);  // edges crossing from k=7 to k=8
+  }
+  const RoutePath path = maze_route(g, {2, 2}, {14, 2}, 14);
+  // It must cross k=7→8 somewhere; with rows 0..13 blocked it should
+  // cross at l >= 14 (the free gap).
+  bool crossed_high = false;
+  for (std::size_t i = 1; i < path.gcells.size(); ++i) {
+    if (path.gcells[i - 1].k == 7 && path.gcells[i].k == 8) {
+      crossed_high = path.gcells[i].l >= 14;
+    }
+  }
+  EXPECT_TRUE(crossed_high);
+}
+
+TEST(MazeRoute, TrivialSameCell) {
+  const Design d = empty_design();
+  const GridGraph g = make_grid(d);
+  const RoutePath path = maze_route(g, {3, 3}, {3, 3});
+  EXPECT_EQ(path.gcells.size(), 1u);
+}
+
+TEST(GlobalRouter, RoutesGeneratedDesign) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 300;
+  cfg.seed = 8;
+  Design d = generate_design(cfg);
+  GlobalRouterConfig rc;
+  rc.grid.nx = 24;
+  rc.grid.ny = 24;
+  const RoutingResult result = route_design(d, rc);
+  EXPECT_GT(result.segments, 0u);
+  EXPECT_GT(result.routed_wirelength, 0.0);
+  EXPECT_EQ(result.congestion.nx(), 24);
+  EXPECT_GE(result.wcs_h, 0.0);
+  EXPECT_GE(result.wcs_v, 0.0);
+}
+
+TEST(GlobalRouter, Deterministic) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 200;
+  Design d = generate_design(cfg);
+  GlobalRouterConfig rc;
+  rc.grid.nx = 16;
+  rc.grid.ny = 16;
+  const RoutingResult a = route_design(d, rc);
+  const RoutingResult b = route_design(d, rc);
+  EXPECT_DOUBLE_EQ(a.routed_wirelength, b.routed_wirelength);
+  EXPECT_DOUBLE_EQ(a.wcs_h, b.wcs_h);
+}
+
+TEST(GlobalRouter, RoutedWirelengthAtLeastHpwlScale) {
+  // Routed WL over gcell steps must be at least the sum of segment
+  // manhattan distances — sanity against silently dropped segments.
+  GeneratorConfig cfg;
+  cfg.num_cells = 150;
+  Design d = generate_design(cfg);
+  GlobalRouterConfig rc;
+  rc.grid.nx = 16;
+  rc.grid.ny = 16;
+  GlobalRouter router(d, rc);
+  const RoutingResult result = router.route();
+  double min_wl = 0.0;
+  for (const Net& net : d.nets()) {
+    if (net.degree() < 2) continue;
+    for (const auto& seg : decompose_net(d, net, router.grid())) {
+      min_wl += std::abs(seg.a.k - seg.b.k) * router.grid().gcell_w() +
+                std::abs(seg.a.l - seg.b.l) * router.grid().gcell_h();
+    }
+  }
+  EXPECT_GE(result.routed_wirelength, min_wl - 1e-6);
+}
+
+TEST(GlobalRouter, SpreadPlacementRoutesBetterThanClumped) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 400;
+  cfg.seed = 12;
+  Design d = generate_design(cfg);
+  GlobalRouterConfig rc;
+  rc.grid.nx = 24;
+  rc.grid.ny = 24;
+
+  // Clumped: everything at the center.
+  std::vector<double> x(d.num_movable(), d.core().center().x);
+  std::vector<double> y(d.num_movable(), d.core().center().y);
+  d.set_movable_positions(x, y);
+  const RoutingResult clumped = route_design(d, rc);
+
+  // Spread: golden (cluster) positions from the generator are reasonable.
+  Design fresh = generate_design(cfg);
+  const RoutingResult spread = route_design(fresh, rc);
+
+  EXPECT_LT(spread.total_overflow_h + spread.total_overflow_v,
+            clumped.total_overflow_h + clumped.total_overflow_v);
+}
+
+TEST(CongestionEval, FullFlowProducesLegalRoutedPlacement) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 200;
+  Design d = generate_design(cfg);
+  GlobalRouterConfig rc;
+  rc.grid.nx = 16;
+  rc.grid.ny = 16;
+  const PlacementEvaluation eval = evaluate_placement(d, rc);
+  EXPECT_EQ(eval.legality_violations, 0u);
+  EXPECT_GT(eval.hpwl, 0.0);
+  EXPECT_GT(eval.routed_wirelength, 0.0);
+}
+
+}  // namespace
+}  // namespace laco

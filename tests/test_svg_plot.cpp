@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "netlist/generator.hpp"
+#include "netlist/svg_plot.hpp"
+
+namespace laco {
+namespace {
+
+Design plot_design() {
+  GeneratorConfig cfg;
+  cfg.num_cells = 120;
+  cfg.num_macros = 2;
+  cfg.num_fences = 1;
+  cfg.num_routing_blockages = 1;
+  cfg.seed = 77;
+  return generate_design(cfg);
+}
+
+TEST(SvgPlot, ContainsAllLayerKinds) {
+  const Design d = plot_design();
+  const std::string svg = design_to_svg(d);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("#6b6b6b"), std::string::npos);  // macro fill
+  EXPECT_NE(svg.find("#4477cc"), std::string::npos);  // std cell fill
+  EXPECT_NE(svg.find("#2e8b57"), std::string::npos);  // pad fill
+  if (!d.fences().empty()) {
+    EXPECT_NE(svg.find("#e08020"), std::string::npos);  // fence outline
+  }
+  if (!d.routing_blockages().empty()) {
+    EXPECT_NE(svg.find("#cc3333"), std::string::npos);  // blockage
+  }
+}
+
+TEST(SvgPlot, RectCountMatchesCells) {
+  const Design d = plot_design();
+  SvgPlotOptions options;
+  options.draw_fences = false;
+  options.draw_blockages = false;
+  const std::string svg = design_to_svg(d, options);
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, d.num_cells() + 1);  // +1 for the core outline
+}
+
+TEST(SvgPlot, OverlayAddsHeatCells) {
+  const Design d = plot_design();
+  GridMap heat(4, 4, d.core(), 0.0);
+  heat.at(1, 1) = 1.0;
+  SvgPlotOptions options;
+  options.draw_cells = false;
+  options.draw_fences = false;
+  options.draw_blockages = false;
+  options.overlay = &heat;
+  const std::string svg = design_to_svg(d, options);
+  EXPECT_NE(svg.find("#ff2200"), std::string::npos);
+  // Only the single hot bin is drawn (plus core outline).
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 2u);
+}
+
+TEST(SvgPlot, WritesFile) {
+  const Design d = plot_design();
+  const std::string path = ::testing::TempDir() + "/plot.svg";
+  ASSERT_TRUE(write_svg_file(d, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace laco

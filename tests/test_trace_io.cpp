@@ -1,0 +1,115 @@
+// Round-trip tests for the trace dataset serialization and the
+// pipeline's on-disk trace cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "laco/pipeline.hpp"
+#include "netlist/generator.hpp"
+#include "train/trace_io.hpp"
+
+namespace laco {
+namespace {
+
+PlacementTrace tiny_trace(unsigned seed) {
+  GeneratorConfig gcfg;
+  gcfg.num_cells = 100;
+  gcfg.seed = seed;
+  Design d = generate_design(gcfg);
+  TraceCollectionConfig cfg;
+  cfg.snapshot.spacing = 10;
+  cfg.snapshot.features = FeatureConfig{16, 16, QuasiVoxScheme::kWeightedSum, true};
+  cfg.snapshot.lookahead_features = FeatureConfig{8, 8, QuasiVoxScheme::kWeightedSum, true};
+  cfg.placer.bin_nx = 8;
+  cfg.placer.bin_ny = 8;
+  cfg.placer.max_iterations = 40;
+  cfg.placer.min_iterations = 40;
+  cfg.placer.target_overflow = 0.0;
+  cfg.router.grid.nx = 16;
+  cfg.router.grid.ny = 16;
+  return collect_trace(d, cfg);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const std::vector<PlacementTrace> traces{tiny_trace(1), tiny_trace(2)};
+  std::stringstream ss;
+  save_traces(traces, ss);
+  const auto loaded = load_traces(ss);
+  ASSERT_EQ(loaded.size(), traces.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    EXPECT_EQ(loaded[t].design_name, traces[t].design_name);
+    EXPECT_EQ(loaded[t].spacing, traces[t].spacing);
+    EXPECT_DOUBLE_EQ(loaded[t].final_hpwl, traces[t].final_hpwl);
+    EXPECT_DOUBLE_EQ(loaded[t].final_overflow, traces[t].final_overflow);
+    EXPECT_NEAR(GridMap::l1_distance(loaded[t].congestion_label, traces[t].congestion_label),
+                0.0, 1e-12);
+    ASSERT_EQ(loaded[t].snapshots.size(), traces[t].snapshots.size());
+    for (std::size_t s = 0; s < traces[t].snapshots.size(); ++s) {
+      EXPECT_EQ(loaded[t].snapshots[s].iteration, traces[t].snapshots[s].iteration);
+      for (int c = 0; c < FeatureFrame::kNumChannels; ++c) {
+        EXPECT_NEAR(GridMap::l1_distance(loaded[t].snapshots[s].frame.channel(c),
+                                         traces[t].snapshots[s].frame.channel(c)),
+                    0.0, 1e-12);
+        EXPECT_NEAR(GridMap::l1_distance(loaded[t].snapshots[s].lo_frame.channel(c),
+                                         traces[t].snapshots[s].lo_frame.channel(c)),
+                    0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::vector<PlacementTrace> traces{tiny_trace(3)};
+  const std::string path = ::testing::TempDir() + "/traces.bin";
+  ASSERT_TRUE(save_traces_file(traces, path));
+  const auto loaded = load_traces_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].final_hpwl, traces[0].final_hpwl);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream ss("not a trace file at all");
+  EXPECT_THROW(load_traces(ss), std::runtime_error);
+  EXPECT_THROW(load_traces_file("/nonexistent/x.traces"), std::runtime_error);
+}
+
+TEST(TraceIo, PipelineDiskCacheReloads) {
+  const std::string dir = ::testing::TempDir() + "/laco_trace_cache_test";
+  std::filesystem::remove_all(dir);
+
+  PipelineConfig cfg = default_pipeline_config();
+  cfg.scale = 0.002;
+  cfg.runs_per_design = 1;
+  cfg.trace.placer.max_iterations = 40;
+  cfg.trace.placer.min_iterations = 40;
+  cfg.trace.snapshot.spacing = 10;
+  cfg.trace.snapshot.features = FeatureConfig{16, 16, QuasiVoxScheme::kWeightedSum, true};
+  cfg.trace.snapshot.lookahead_features =
+      FeatureConfig{8, 8, QuasiVoxScheme::kWeightedSum, true};
+  cfg.trace.router.grid.nx = 16;
+  cfg.trace.router.grid.ny = 16;
+
+  double first_hpwl = 0.0;
+  {
+    Pipeline pipeline(cfg);
+    pipeline.set_trace_cache_dir(dir);
+    const auto& traces = pipeline.traces_for({"fft_1"});
+    ASSERT_EQ(traces.size(), 1u);
+    first_hpwl = traces[0].final_hpwl;
+  }
+  // A second pipeline instance must hit the disk cache and agree exactly.
+  ASSERT_FALSE(std::filesystem::is_empty(dir));
+  {
+    Pipeline pipeline(cfg);
+    pipeline.set_trace_cache_dir(dir);
+    const auto& traces = pipeline.traces_for({"fft_1"});
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_DOUBLE_EQ(traces[0].final_hpwl, first_hpwl);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace laco

@@ -1,0 +1,155 @@
+// Tests for the wirelength-model variants (WA vs LSE) and the Steiner
+// net decomposition.
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "placer/wirelength.hpp"
+#include "router/net_decomposition.hpp"
+
+namespace laco {
+namespace {
+
+Design two_pin_design(Point a, Point b) {
+  Design d("t", Rect{0, 0, 16, 16}, 1.0);
+  for (const Point p : {a, b}) {
+    Cell c;
+    c.width = 1.0;
+    c.height = 1.0;
+    c.x = p.x - 0.5;
+    c.y = p.y - 0.5;
+    d.add_cell(c);
+  }
+  const NetId n = d.add_net("n");
+  d.add_pin(0, n, 0.5, 0.5);
+  d.add_pin(1, n, 0.5, 0.5);
+  return d;
+}
+
+TEST(LseWirelength, UpperBoundsHpwlAndConverges) {
+  const Design d = two_pin_design({2, 3}, {11, 9});
+  const double hpwl = d.hpwl();
+  WirelengthModel coarse(2.0, WirelengthKind::kLogSumExp);
+  WirelengthModel fine(0.05, WirelengthKind::kLogSumExp);
+  // LSE over-approximates HPWL from above and tightens as γ→0.
+  EXPECT_GE(coarse.evaluate(d), hpwl - 1e-9);
+  EXPECT_GE(fine.evaluate(d), hpwl - 1e-9);
+  EXPECT_LT(fine.evaluate(d) - hpwl, coarse.evaluate(d) - hpwl);
+  EXPECT_NEAR(fine.evaluate(d), hpwl, 0.05 * hpwl);
+}
+
+class LseGradient : public ::testing::TestWithParam<double> {};
+
+TEST_P(LseGradient, MatchesFiniteDifference) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 30;
+  cfg.seed = 8;
+  Design d = generate_design(cfg);
+  WirelengthModel model(GetParam(), WirelengthKind::kLogSumExp);
+  std::vector<double> gx(d.num_cells(), 0.0), gy(d.num_cells(), 0.0);
+  model.evaluate_with_grad(d, gx, gy);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < d.movable_cells().size(); i += 7) {
+    const CellId cid = d.movable_cells()[i];
+    Cell& cell = d.cell(cid);
+    const double saved = cell.x;
+    cell.x = saved + eps;
+    const double up = model.evaluate(d);
+    cell.x = saved - eps;
+    const double down = model.evaluate(d);
+    cell.x = saved;
+    EXPECT_NEAR((up - down) / (2 * eps), gx[static_cast<std::size_t>(cid)],
+                1e-4 * std::max(1.0, std::abs(gx[static_cast<std::size_t>(cid)])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, LseGradient, ::testing::Values(0.2, 1.0, 4.0));
+
+TEST(LseWirelength, GradientIsBoundedByOne) {
+  // LSE per-axis gradients are softmax differences: each in [-1, 1].
+  GeneratorConfig cfg;
+  cfg.num_cells = 50;
+  Design d = generate_design(cfg);
+  WirelengthModel model(0.5, WirelengthKind::kLogSumExp);
+  std::vector<double> gx(d.num_cells(), 0.0), gy(d.num_cells(), 0.0);
+  model.evaluate_with_grad(d, gx, gy);
+  // Cells on multiple nets accumulate; bound by pin count. Check the
+  // per-net bound via a 2-pin design instead.
+  Design two = two_pin_design({3, 3}, {12, 12});
+  std::vector<double> g2x(two.num_cells(), 0.0), g2y(two.num_cells(), 0.0);
+  model.evaluate_with_grad(two, g2x, g2y);
+  for (const double v : g2x) EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+}
+
+TEST(Steiner, ThreePinStarBeatsMst) {
+  // Terminals at (0,0), (10,0), (5,8): the Steiner point is (5,0); the
+  // star costs 5+5+8=18 gcells, the MST costs 10+sqrt... (manhattan MST:
+  // 10 + 9 = 19 via nearest pair).
+  Design d("s", Rect{0, 0, 16, 16}, 1.0);
+  const NetId n = d.add_net("n");
+  const double px[3] = {0.2, 10.2, 5.2};
+  const double py[3] = {0.2, 0.2, 8.2};
+  for (int i = 0; i < 3; ++i) {
+    Cell c;
+    c.width = 0.5;
+    c.height = 0.5;
+    c.x = px[i];
+    c.y = py[i];
+    const CellId cid = d.add_cell(c);
+    d.add_pin(cid, n, 0.25, 0.25);
+  }
+  GridGraphConfig gc;
+  gc.nx = 16;
+  gc.ny = 16;
+  const GridGraph g(d, gc);
+  const auto star = decompose_net(d, d.net(0), g, /*use_steiner=*/true);
+  const auto mst = decompose_net(d, d.net(0), g, /*use_steiner=*/false);
+  EXPECT_EQ(star.size(), 3u);
+  EXPECT_EQ(mst.size(), 2u);
+  EXPECT_LE(decomposition_length(star), decomposition_length(mst));
+}
+
+TEST(Steiner, DegenerateCollinearCaseMatchesMst) {
+  // Collinear pins: the Steiner point coincides with the middle pin, so
+  // the star has two segments of the same total length as the MST.
+  Design d("s", Rect{0, 0, 16, 16}, 1.0);
+  const NetId n = d.add_net("n");
+  for (int i = 0; i < 3; ++i) {
+    Cell c;
+    c.width = 0.5;
+    c.height = 0.5;
+    c.x = 1.0 + 5.0 * i;
+    c.y = 7.0;
+    const CellId cid = d.add_cell(c);
+    d.add_pin(cid, n, 0.25, 0.25);
+  }
+  GridGraphConfig gc;
+  gc.nx = 16;
+  gc.ny = 16;
+  const GridGraph g(d, gc);
+  const auto star = decompose_net(d, d.net(0), g, true);
+  const auto mst = decompose_net(d, d.net(0), g, false);
+  EXPECT_EQ(decomposition_length(star), decomposition_length(mst));
+}
+
+TEST(Steiner, FourPinNetsStillUseMst) {
+  Design d("s", Rect{0, 0, 16, 16}, 1.0);
+  const NetId n = d.add_net("n");
+  const double pts[4][2] = {{1, 1}, {14, 1}, {1, 14}, {14, 14}};
+  for (const auto& p : pts) {
+    Cell c;
+    c.width = 0.5;
+    c.height = 0.5;
+    c.x = p[0];
+    c.y = p[1];
+    const CellId cid = d.add_cell(c);
+    d.add_pin(cid, n, 0.25, 0.25);
+  }
+  GridGraphConfig gc;
+  gc.nx = 16;
+  gc.ny = 16;
+  const GridGraph g(d, gc);
+  EXPECT_EQ(decompose_net(d, d.net(0), g, true).size(), 3u);  // MST: n-1 edges
+}
+
+}  // namespace
+}  // namespace laco

@@ -1,0 +1,244 @@
+// laco — command-line driver for the library. Subcommands:
+//
+//   laco generate <design|synthetic> [--scale S] [--cells N] [--seed K]
+//                 [--out FILE.lbk]
+//       Creates an ISPD-2015 analog (by suite name) or a generic
+//       synthetic design and writes it in bookshelf format.
+//
+//   laco place <FILE.lbk> [--scheme dreamplace|dreamcong|laco]
+//              [--models DIR] [--iters N] [--bins B] [--out FILE.lbk]
+//              [--svg FILE.svg]
+//       Runs global placement (+ LG + DP), optionally congestion-guided
+//       with models saved by `laco train` / the train_lookahead example.
+//
+//   laco eval <FILE.lbk> [--grid G] [--svg FILE.svg]
+//       Routes the placement as-is and reports WCS / wirelength; the SVG
+//       overlays the congestion map.
+//
+//   laco train [--scale S] [--runs R] [--scheme laco|dreamcong]
+//              [--out DIR]
+//       Collects traces on the first-8 suite designs, trains the chosen
+//       model set, and saves it for `laco place --models`.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "laco/laco_placer.hpp"
+#include "laco/model_zoo.hpp"
+#include "laco/pipeline.hpp"
+#include "netlist/bookshelf_io.hpp"
+#include "netlist/design_stats.hpp"
+#include "netlist/ispd2015_suite.hpp"
+#include "netlist/svg_plot.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace laco;
+
+/// --key value option bag; positional args collected separately.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[a.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr << "usage: laco <generate|place|eval|train> [args]\n"
+               "run with a subcommand and no args for its options\n";
+  return 2;
+}
+
+int cmd_generate(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "generate: need a design name (suite name or 'synthetic')\n";
+    return 2;
+  }
+  const std::string name = args.positional[0];
+  Design design;
+  if (name == "synthetic") {
+    GeneratorConfig cfg;
+    cfg.num_cells = args.get_int("cells", 2000);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    cfg.num_fences = args.get_int("fences", 0);
+    cfg.num_routing_blockages = args.get_int("blockages", 0);
+    design = generate_design(cfg);
+  } else {
+    design = make_ispd2015_analog(name, args.get_double("scale", 0.01),
+                                  static_cast<std::uint64_t>(args.get_int("seed", 0)));
+  }
+  std::cout << to_string(compute_stats(design)) << '\n';
+  const std::string out = args.get("out", name + ".lbk");
+  if (!write_bookshelf_file(design, out)) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << out << '\n';
+  return 0;
+}
+
+int cmd_place(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "place: need an input .lbk file\n";
+    return 2;
+  }
+  Design design = read_bookshelf_file(args.positional[0]);
+  const std::string scheme_name = args.get("scheme", "dreamplace");
+
+  LacoPlacerConfig cfg;
+  if (scheme_name == "dreamplace") {
+    cfg.scheme = LacoScheme::kDreamPlace;
+  } else if (scheme_name == "dreamcong") {
+    cfg.scheme = LacoScheme::kDreamCong;
+  } else if (scheme_name == "laco") {
+    cfg.scheme = LacoScheme::kCellFlowKL;
+  } else {
+    std::cerr << "place: unknown scheme '" << scheme_name << "'\n";
+    return 2;
+  }
+  const int bins = args.get_int("bins", 32);
+  cfg.placer.bin_nx = bins;
+  cfg.placer.bin_ny = bins;
+  cfg.placer.max_iterations = args.get_int("iters", 400);
+  cfg.router.grid.nx = args.get_int("grid", 64);
+  cfg.router.grid.ny = cfg.router.grid.nx;
+
+  LacoModels models;
+  const LacoModels* models_ptr = nullptr;
+  if (traits_of(cfg.scheme).uses_penalty) {
+    const std::string dir = args.get("models", "");
+    if (dir.empty()) {
+      std::cerr << "place: scheme '" << scheme_name << "' needs --models DIR\n";
+      return 2;
+    }
+    models = load_models(dir);
+    if (models.scheme != cfg.scheme) {
+      std::cerr << "place: models in " << dir << " were trained for "
+                << to_string(models.scheme) << "\n";
+      return 2;
+    }
+    models_ptr = &models;
+  }
+
+  const LacoRunResult result = run_laco_placement(design, cfg, models_ptr);
+  std::cout << "placement: " << result.placement.iterations << " iterations, HPWL "
+            << result.evaluation.hpwl << ", overflow " << result.placement.final_overflow
+            << "\nrouting: WCS_H " << result.evaluation.wcs_h << ", WCS_V "
+            << result.evaluation.wcs_v << ", WL " << result.evaluation.routed_wirelength
+            << ", legality violations " << result.evaluation.legality_violations << '\n';
+
+  const std::string out = args.get("out", "");
+  if (!out.empty() && !write_bookshelf_file(design, out)) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  const std::string svg = args.get("svg", "");
+  if (!svg.empty()) {
+    SvgPlotOptions plot;
+    plot.overlay = &result.evaluation.routing.congestion;
+    plot.overlay_max = 1.0;
+    if (!write_svg_file(design, svg, plot)) {
+      std::cerr << "cannot write " << svg << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << svg << '\n';
+  }
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "eval: need an input .lbk file\n";
+    return 2;
+  }
+  Design design = read_bookshelf_file(args.positional[0]);
+  GlobalRouterConfig rc;
+  rc.grid.nx = args.get_int("grid", 64);
+  rc.grid.ny = rc.grid.nx;
+  const RoutingResult routing = route_design(design, rc);
+  std::cout << "HPWL " << design.hpwl() << "\nWCS_H " << routing.wcs_h << ", WCS_V "
+            << routing.wcs_v << "\nrouted WL " << routing.routed_wirelength
+            << "\noverflow H/V " << routing.total_overflow_h << '/'
+            << routing.total_overflow_v << "\npeak congestion " << routing.congestion.max()
+            << '\n';
+  const std::string svg = args.get("svg", "");
+  if (!svg.empty()) {
+    SvgPlotOptions plot;
+    plot.overlay = &routing.congestion;
+    plot.overlay_max = 1.0;
+    if (!write_svg_file(design, svg, plot)) return 1;
+    std::cout << "wrote " << svg << '\n';
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  PipelineConfig cfg = default_pipeline_config();
+  cfg.scale = args.get_double("scale", 0.004);
+  cfg.runs_per_design = args.get_int("runs", 2);
+  const std::string scheme_name = args.get("scheme", "laco");
+  const LacoScheme scheme =
+      scheme_name == "dreamcong" ? LacoScheme::kDreamCong : LacoScheme::kCellFlowKL;
+  Pipeline pipeline(cfg);
+  std::cout << "collecting traces on the first-8 suite designs (scale " << cfg.scale
+            << ", runs " << cfg.runs_per_design << ")...\n";
+  const auto& traces = pipeline.traces_for(ispd2015_first8_names());
+  std::cout << "training " << to_string(scheme) << "...\n";
+  const LacoModels models = pipeline.train_models(scheme, traces);
+  const PredictionQuality q = pipeline.evaluate_prediction(models, traces);
+  std::cout << "training-set prediction quality: NRMS " << q.nrms << ", SSIM " << q.ssim
+            << '\n';
+  const std::string out = args.get("out", "laco_models");
+  if (!save_models(models, out)) {
+    std::cerr << "cannot write models to " << out << '\n';
+    return 1;
+  }
+  std::cout << "saved models to " << out << "/\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "place") return cmd_place(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "train") return cmd_train(args);
+  } catch (const std::exception& e) {
+    std::cerr << "laco " << command << ": " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
