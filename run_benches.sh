@@ -5,7 +5,8 @@ cd "$(dirname "$0")"
 ORDER="bench_table1_comparison bench_fig6_scheme_ablation bench_fig7_flow_ablation \
 bench_fig1_distribution_shift bench_fig3_cellflow bench_fig8_runtime \
 bench_quasivox_ablation bench_lookahead_horizon bench_history_frames \
-bench_eta_sweep bench_inflation_baseline bench_wirelength_models bench_kernels"
+bench_eta_sweep bench_inflation_baseline bench_wirelength_models \
+bench_serve_throughput bench_kernels"
 {
   for name in $ORDER; do
     echo

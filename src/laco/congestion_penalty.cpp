@@ -11,7 +11,12 @@ namespace laco {
 namespace {
 
 void freeze(nn::Module& module) {
-  for (nn::Tensor p : module.parameters()) p.set_requires_grad(false);
+  // Conditional write: model sets handed out by serve::ModelRegistry
+  // arrive pre-frozen and shared across threads; skipping the redundant
+  // store keeps shared weight impls strictly read-only here.
+  for (nn::Tensor p : module.parameters()) {
+    if (p.requires_grad()) p.set_requires_grad(false);
+  }
 }
 
 double abs_sum(const std::vector<double>& a, const std::vector<double>& b) {

@@ -6,6 +6,22 @@
 // functions (nn/ops_*.hpp) that record backward closures onto the
 // output's impl. Call backward() on a scalar to populate .grad() on
 // every reachable tensor with requires_grad().
+//
+// Concurrency contract (relied on by src/serve):
+//  - grad mode is thread-local: one thread's NoGradGuard never affects
+//    another thread's graph recording.
+//  - Ops never mutate their *input* impls. make_op_output only writes
+//    parents/backward_fn on the freshly created output, and under
+//    NoGradGuard it returns before even reading requires_grad, so
+//    concurrent inference forwards over shared (frozen) weight tensors
+//    are data-race free: weights are read-only, and grad/parents/
+//    backward_fn of shared impls are never touched.
+//  - backward() and ensure_grad() DO mutate reachable impls
+//    (grad accumulation). Training, backward(), zero_grad(), and
+//    set_requires_grad() require exclusive ownership of the tensors
+//    involved — never run them concurrently with shared-weight
+//    inference. Model owners freeze parameters once (requires_grad =
+//    false, see serve::ModelRegistry) before sharing across threads.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +58,9 @@ struct TensorImpl {
 bool grad_enabled();
 
 /// RAII guard disabling graph recording (inference / label generation).
+/// Thread-local: guards on one thread do not affect others, so a
+/// service worker under NoGradGuard can share weights with a training
+/// thread that still records graphs on its own tensors.
 class NoGradGuard {
  public:
   NoGradGuard();

@@ -1,0 +1,148 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace laco::serve {
+
+InferenceService::InferenceService(ServiceConfig config)
+    : config_(config),
+      pool_(config.num_threads, config.queue_capacity),
+      batcher_(config.batcher) {
+  config_.latency_reservoir = std::max<std::size_t>(1, config_.latency_reservoir);
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+InferenceService::~InferenceService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  flusher_wakeup_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  drain();
+  pool_.shutdown();
+}
+
+std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModels> models,
+                                                 ModelKind kind, nn::Tensor input) {
+  BatchItem item;
+  item.models = std::move(models);
+  item.kind = kind;
+  item.input = std::move(input);
+  item.enqueue_time = std::chrono::steady_clock::now();
+  std::future<nn::Tensor> future = item.result.get_future();
+
+  std::optional<Batch> full;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("InferenceService::submit after shutdown");
+    ++counters_.requests;
+    ++counters_.in_flight;
+    counters_.max_in_flight = std::max(counters_.max_in_flight, counters_.in_flight);
+    full = batcher_.add(std::move(item));
+  }
+  if (full) enqueue(std::move(*full));
+  return future;
+}
+
+void InferenceService::enqueue(Batch batch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.batches;
+    counters_.batched_items += batch.items.size();
+  }
+  // The pool applies backpressure: submit blocks while its queue is
+  // full. Never call this while holding mutex_ — workers need it to
+  // record completions.
+  auto shared = std::make_shared<Batch>(std::move(batch));
+  pool_.submit([this, shared] { execute(std::move(*shared)); });
+}
+
+void InferenceService::execute(Batch batch) {
+  const std::size_t n = batch.items.size();
+  std::vector<std::chrono::steady_clock::time_point> enqueued;
+  enqueued.reserve(n);
+  for (const BatchItem& item : batch.items) enqueued.push_back(item.enqueue_time);
+
+  run_batch(std::move(batch));
+
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& t0 : enqueued) {
+      const double ms = std::chrono::duration<double, std::milli>(now - t0).count();
+      if (latencies_ms_.size() < config_.latency_reservoir) {
+        latencies_ms_.push_back(ms);
+      } else {
+        latencies_ms_[latency_next_ % config_.latency_reservoir] = ms;
+      }
+      ++latency_next_;
+    }
+    counters_.completed += n;
+    counters_.in_flight -= n;
+  }
+  drained_.notify_all();
+}
+
+void InferenceService::drain() {
+  std::vector<Batch> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    due = batcher_.flush_due(std::chrono::steady_clock::now(), /*force=*/true);
+  }
+  for (Batch& batch : due) enqueue(std::move(batch));
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return counters_.in_flight == 0 && batcher_.pending() == 0; });
+}
+
+ServiceCounters InferenceService::counters() const {
+  ServiceCounters c;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c = counters_;
+    c.pending = batcher_.pending();
+  }
+  c.pool_queue_depth = pool_.queue_depth();
+  c.pool_max_queue_depth = pool_.max_queue_depth();
+  return c;
+}
+
+std::vector<double> InferenceService::latency_snapshot_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latencies_ms_;
+}
+
+void InferenceService::flusher_loop() {
+  const auto tick = std::chrono::duration<double, std::milli>(
+      std::max(0.1, config_.batcher.max_linger_ms * 0.5));
+  for (;;) {
+    std::vector<Batch> due;
+    bool exit_after_flush = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Microsecond resolution: a sub-millisecond linger must not
+      // truncate to a zero-length (busy) wait.
+      flusher_wakeup_.wait_for(
+          lock, std::chrono::duration_cast<std::chrono::microseconds>(tick),
+          [this] { return stopping_; });
+      exit_after_flush = stopping_;
+      due = batcher_.flush_due(std::chrono::steady_clock::now(), /*force=*/stopping_);
+    }
+    for (Batch& batch : due) enqueue(std::move(batch));
+    if (exit_after_flush) return;
+  }
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 *
+                                static_cast<double>(values.size()));
+  const std::size_t idx =
+      static_cast<std::size_t>(std::max(1.0, rank)) - 1;
+  return values[std::min(idx, values.size() - 1)];
+}
+
+}  // namespace laco::serve

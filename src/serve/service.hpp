@@ -1,0 +1,106 @@
+// InferenceService — the resident, concurrent, batched front door to
+// the trained LacoModels. Clients submit single-sample NCHW inference
+// requests and get std::future results; internally requests coalesce in
+// a Batcher (size + linger flush policy) and execute on a fixed
+// ThreadPool, one forward pass per batch under NoGradGuard.
+//
+//   submit ──▶ Batcher buckets ──(full / lingered)──▶ ThreadPool
+//                                                       └─▶ run_batch ─▶ futures
+//
+// A flusher thread wakes every max_linger_ms/2 to cut aged partial
+// batches, so a lone request is never stranded. Counters track
+// requests, batches, occupancy, queue depth, and per-request latency
+// (submit → result set); latency percentiles are computed from a
+// bounded reservoir of recent requests.
+//
+// Thread-safety: submit() may be called from any number of threads.
+// Results are independent tensors (no shared autograd state); model
+// weights are shared read-only (see nn/tensor.hpp "Concurrency").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "util/thread_pool.hpp"
+
+namespace laco::serve {
+
+struct ServiceConfig {
+  int num_threads = 4;              ///< worker pool size
+  std::size_t queue_capacity = 256; ///< bounded batch queue (backpressure)
+  BatcherConfig batcher;
+  std::size_t latency_reservoir = 1 << 14;  ///< retained latency samples
+};
+
+struct ServiceCounters {
+  std::uint64_t requests = 0;       ///< submitted
+  std::uint64_t completed = 0;      ///< promises fulfilled (incl. errors)
+  std::uint64_t batches = 0;        ///< forward passes executed
+  std::uint64_t batched_items = 0;  ///< requests that went through batches
+  std::size_t pending = 0;          ///< waiting in the batcher right now
+  std::size_t in_flight = 0;        ///< submitted but not completed
+  std::size_t max_in_flight = 0;
+  std::size_t pool_queue_depth = 0;
+  std::size_t pool_max_queue_depth = 0;
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0 : static_cast<double>(batched_items) / static_cast<double>(batches);
+  }
+};
+
+class InferenceService {
+ public:
+  explicit InferenceService(ServiceConfig config = {});
+  /// Drains outstanding work, then stops the flusher and the pool.
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Enqueues one inference request. `input` must be [1, C, H, W] with
+  /// the channel count the target network expects; the tensor is taken
+  /// by value and must not be mutated by the caller afterwards. The
+  /// future yields the [1, C_out, H, W] output or the batch's error.
+  std::future<nn::Tensor> submit(std::shared_ptr<const LacoModels> models, ModelKind kind,
+                                 nn::Tensor input);
+
+  /// Blocks until every submitted request has completed.
+  void drain();
+
+  ServiceCounters counters() const;
+
+  /// Latency (ms, submit → result) of up to `latency_reservoir` recent
+  /// requests, unordered. Use `percentile` for p50/p99.
+  std::vector<double> latency_snapshot_ms() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  /// Counts the batch and hands it to the pool. Callers must NOT hold
+  /// mutex_: the pool's bounded queue blocks, and workers take mutex_.
+  void enqueue(Batch batch);
+  void execute(Batch batch);
+  void flusher_loop();
+
+  ServiceConfig config_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;
+  Batcher batcher_;
+  ServiceCounters counters_;
+  std::vector<double> latencies_ms_;
+  std::size_t latency_next_ = 0;  ///< reservoir write cursor
+  bool stopping_ = false;
+  std::condition_variable flusher_wakeup_;
+  std::thread flusher_;
+};
+
+/// p in [0, 100]; nearest-rank percentile of an unsorted sample set.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace laco::serve

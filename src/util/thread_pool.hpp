@@ -1,0 +1,60 @@
+// Fixed-size worker pool over a bounded MPMC task queue — the execution
+// substrate for the inference service (src/serve) and any future
+// parallel subsystem. submit() applies backpressure: it blocks while the
+// queue is at capacity, so producers cannot outrun the workers without
+// bound. Tasks are plain std::function<void()>; exceptions escaping a
+// task terminate (tasks own their error handling, e.g. via promises).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laco {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to ≥1). `queue_capacity`
+  /// bounds the number of queued-but-not-running tasks (clamped to ≥1).
+  explicit ThreadPool(int num_threads, std::size_t queue_capacity = 1024);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task, blocking while the queue is full. Returns false
+  /// (dropping the task) after shutdown() has been called.
+  bool submit(std::function<void()> task);
+
+  /// Non-blocking enqueue; false when the queue is full or shut down.
+  bool try_submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs everything already queued, joins the
+  /// workers. Idempotent; also called by the destructor.
+  void shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_depth() const;
+  /// High-water mark of the queue depth since construction.
+  std::size_t max_queue_depth() const;
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t max_depth_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace laco

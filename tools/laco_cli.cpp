@@ -19,10 +19,23 @@
 //              [--out DIR]
 //       Collects traces on the first-8 suite designs, trains the chosen
 //       model set, and saves it for `laco place --models`.
+//
+//   laco serve [--models DIR] [--threads N] [--batch B] [--linger MS]
+//              [--requests R] [--clients C] [--grid G] [--kind K]
+//       Stands up the resident batched inference service, drives a
+//       synthetic request load against it (from C client threads), and
+//       prints a throughput / latency / batching report against the
+//       single-threaded unbatched baseline. Without --models a random
+//       demo model set is used (throughput only, no trained weights).
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <map>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "laco/laco_placer.hpp"
@@ -32,7 +45,10 @@
 #include "netlist/design_stats.hpp"
 #include "netlist/ispd2015_suite.hpp"
 #include "netlist/svg_plot.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/service.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -71,7 +87,7 @@ Args parse_args(int argc, char** argv, int first) {
 }
 
 int usage() {
-  std::cerr << "usage: laco <generate|place|eval|train> [args]\n"
+  std::cerr << "usage: laco <generate|place|eval|train|serve> [args]\n"
                "run with a subcommand and no args for its options\n";
   return 2;
 }
@@ -138,12 +154,15 @@ int cmd_place(const Args& args) {
       std::cerr << "place: scheme '" << scheme_name << "' needs --models DIR\n";
       return 2;
     }
-    models = load_models(dir);
-    if (models.scheme != cfg.scheme) {
+    // One load path for CLI and service: the process-wide registry
+    // caches the set, so repeated embedded invocations skip the disk.
+    const auto shared = serve::shared_registry().get(dir);
+    if (shared->scheme != cfg.scheme) {
       std::cerr << "place: models in " << dir << " were trained for "
-                << to_string(models.scheme) << "\n";
+                << to_string(shared->scheme) << "\n";
       return 2;
     }
+    models = *shared;  // shallow copy: networks stay shared (and frozen)
     models_ptr = &models;
   }
 
@@ -224,6 +243,139 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// Random demo model set for `laco serve` without --models: real
+/// architectures, untrained weights — enough to exercise the service.
+std::shared_ptr<const LacoModels> demo_models(bool with_lookahead) {
+  auto m = std::make_shared<LacoModels>();
+  m->scheme = with_lookahead ? LacoScheme::kCellFlowKL : LacoScheme::kDreamCong;
+  CongestionFcnConfig fc;
+  fc.in_channels = f_in_channels(m->scheme);
+  m->congestion = std::make_shared<CongestionFcn>(fc);
+  if (with_lookahead) {
+    LookAheadConfig gc;
+    gc.channels_per_frame = g_channels(m->scheme);
+    m->lookahead = std::make_shared<LookAheadModel>(gc);
+  }
+  for (nn::Tensor p : m->congestion->parameters()) p.set_requires_grad(false);
+  if (m->lookahead) {
+    for (nn::Tensor p : m->lookahead->parameters()) p.set_requires_grad(false);
+  }
+  return m;
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServiceConfig sc;
+  sc.num_threads = args.get_int("threads", 4);
+  sc.batcher.max_batch = args.get_int("batch", 8);
+  sc.batcher.max_linger_ms = args.get_double("linger", 2.0);
+  const int requests = args.get_int("requests", 256);
+  const int clients = std::max(1, args.get_int("clients", 4));
+  const int grid = args.get_int("grid", 32);
+  const std::string kind_name = args.get("kind", "congestion");
+
+  std::shared_ptr<const LacoModels> models;
+  const std::string dir = args.get("models", "");
+  if (!dir.empty()) {
+    models = serve::shared_registry().get(dir);
+  } else {
+    models = demo_models(kind_name != "congestion");
+    std::cout << "no --models given: using a randomly initialized demo set\n";
+  }
+  serve::ModelKind kind = serve::ModelKind::kCongestion;
+  if (kind_name == "lookahead") {
+    if (!models->lookahead) {
+      std::cerr << "serve: model set has no look-ahead network\n";
+      return 2;
+    }
+    kind = serve::ModelKind::kLookAhead;
+  } else if (kind_name != "congestion") {
+    std::cerr << "serve: unknown --kind '" << kind_name << "'\n";
+    return 2;
+  }
+
+  const int channels = kind == serve::ModelKind::kCongestion
+                           ? models->congestion->config().in_channels
+                           : models->lookahead->config().frames *
+                                 models->lookahead->config().channels_per_frame;
+  // Synthetic request load: deterministic pseudo-random feature maps.
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> uniform(0.0f, 1.0f);
+  for (int r = 0; r < requests; ++r) {
+    nn::Tensor t = nn::Tensor::zeros({1, channels, grid, grid});
+    for (float& v : t.data()) v = uniform(rng);
+    inputs.push_back(std::move(t));
+  }
+
+  // Single-threaded unbatched baseline.
+  std::vector<nn::Tensor> baseline;
+  baseline.reserve(inputs.size());
+  Timer timer;
+  {
+    nn::NoGradGuard guard;
+    for (const nn::Tensor& in : inputs) {
+      baseline.push_back(kind == serve::ModelKind::kCongestion
+                             ? models->congestion->forward(in)
+                             : models->lookahead->forward(in).prediction);
+    }
+  }
+  const double baseline_s = timer.seconds();
+
+  // Service run: `clients` threads submit interleaved request ranges.
+  std::vector<nn::Tensor> served(inputs.size());
+  double service_s = 0.0;
+  serve::ServiceCounters counters;
+  std::vector<double> latencies;
+  {
+    serve::InferenceService service(sc);
+    timer.reset();
+    std::vector<std::thread> threads;
+    std::vector<std::vector<std::pair<std::size_t, std::future<nn::Tensor>>>> futures(
+        static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t i = static_cast<std::size_t>(c); i < inputs.size();
+             i += static_cast<std::size_t>(clients)) {
+          futures[static_cast<std::size_t>(c)].emplace_back(
+              i, service.submit(models, kind, inputs[i]));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (auto& per_client : futures) {
+      for (auto& [i, f] : per_client) served[i] = f.get();
+    }
+    service_s = timer.seconds();
+    service.drain();  // futures resolve before the service's bookkeeping
+    counters = service.counters();
+    latencies = service.latency_snapshot_ms();
+  }
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    for (std::size_t k = 0; k < served[i].data().size(); ++k) {
+      max_err = std::max(max_err, static_cast<double>(std::abs(
+                                      served[i].data()[k] - baseline[i].data()[k])));
+    }
+  }
+
+  const double base_rps = requests / std::max(1e-9, baseline_s);
+  const double serve_rps = requests / std::max(1e-9, service_s);
+  std::cout << "model: " << serve::to_string(kind) << " [" << channels << 'x' << grid << 'x'
+            << grid << "], " << requests << " requests, " << clients << " clients\n"
+            << "service: threads=" << sc.num_threads << " max_batch=" << sc.batcher.max_batch
+            << " linger=" << sc.batcher.max_linger_ms << "ms\n"
+            << "baseline (1 thread, batch 1): " << base_rps << " req/s\n"
+            << "service: " << serve_rps << " req/s (" << serve_rps / base_rps
+            << "x), mean batch " << counters.mean_batch_size() << " over " << counters.batches
+            << " batches\n"
+            << "latency ms: p50 " << serve::percentile(latencies, 50.0) << ", p99 "
+            << serve::percentile(latencies, 99.0) << "\n"
+            << "batched vs sequential max |diff|: " << max_err << '\n';
+  return max_err <= 1e-5 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +388,7 @@ int main(int argc, char** argv) {
     if (command == "place") return cmd_place(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "train") return cmd_train(args);
+    if (command == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::cerr << "laco " << command << ": " << e.what() << '\n';
     return 1;
