@@ -1,9 +1,10 @@
 #include "gridmap/grid_map.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace laco {
 
@@ -19,7 +20,9 @@ GridMap::GridMap(int nx, int ny, Rect region, double fill)
 }
 
 std::size_t GridMap::index(int k, int l) const {
-  assert(k >= 0 && k < nx_ && l >= 0 && l < ny_);
+  // LACO_CHECK (not assert): an out-of-range bin index in a Release
+  // build must abort rather than silently corrupt congestion maps.
+  LACO_CHECK(k >= 0 && k < nx_ && l >= 0 && l < ny_);
   return static_cast<std::size_t>(l) * nx_ + k;
 }
 

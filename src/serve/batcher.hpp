@@ -7,10 +7,12 @@
 // flusher thread calling flush_due()).
 //
 // The batcher itself is a passive, lock-free-of-itself data structure:
-// the owner provides external synchronization (InferenceService holds
-// one under its mutex). run_batch() does the actual model execution —
-// one forward under NoGradGuard over the stacked input — and fulfills
-// each request's promise with its output sample.
+// the owner provides external synchronization (InferenceService
+// declares its batcher_ LACO_GUARDED_BY(mutex_), so the clang
+// -Wthread-safety job statically rejects unlocked access). run_batch()
+// does the actual model execution — one forward under NoGradGuard over
+// the stacked input (laco-lint's nograd-forward rule enforces the
+// guard) — and fulfills each request's promise with its output sample.
 #pragma once
 
 #include <chrono>

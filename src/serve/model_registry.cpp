@@ -25,7 +25,7 @@ std::size_t model_footprint_bytes(const LacoModels& models) {
 ModelRegistry::ModelRegistry(RegistryConfig config) : config_(config) {}
 
 std::shared_ptr<const LacoModels> ModelRegistry::get(const std::string& dir) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(dir);
   if (it != entries_.end()) {
     ++stats_.hits;
@@ -77,17 +77,17 @@ std::shared_ptr<const LacoModels> ModelRegistry::get(const std::string& dir) {
 }
 
 bool ModelRegistry::resident(const std::string& dir) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.count(dir) != 0;
 }
 
 RegistryStats ModelRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void ModelRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   stats_.resident_models = 0;

@@ -16,10 +16,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "laco/congestion_penalty.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace laco::serve {
 
@@ -48,15 +49,15 @@ class ModelRegistry {
   /// Returns the (frozen, shareable) model set for `dir`, loading it on
   /// first use. Throws std::runtime_error like load_models on missing or
   /// corrupt directories; a failed load is not cached.
-  std::shared_ptr<const LacoModels> get(const std::string& dir);
+  std::shared_ptr<const LacoModels> get(const std::string& dir) LACO_EXCLUDES(mutex_);
 
   /// Whether `dir` is currently resident (for tests; racy by nature).
-  bool resident(const std::string& dir) const;
+  bool resident(const std::string& dir) const LACO_EXCLUDES(mutex_);
 
-  RegistryStats stats() const;
+  RegistryStats stats() const LACO_EXCLUDES(mutex_);
 
   /// Drops every cached entry (in-flight shared_ptrs stay valid).
-  void clear();
+  void clear() LACO_EXCLUDES(mutex_);
 
   const RegistryConfig& config() const { return config_; }
 
@@ -67,17 +68,18 @@ class ModelRegistry {
     std::list<std::string>::iterator lru_pos;
   };
 
-  /// Caller holds mutex_. Evicts LRU entries until within budget,
-  /// keeping at least the most recently used one.
-  void enforce_budget_locked();
+  /// Evicts LRU entries until within budget, keeping at least the most
+  /// recently used one.
+  void enforce_budget_locked() LACO_REQUIRES(mutex_);
 
   RegistryConfig config_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ LACO_GUARDED_BY(mutex_);
   /// In-flight loads, so concurrent get() of one dir loads once.
-  std::map<std::string, std::shared_future<std::shared_ptr<const LacoModels>>> pending_;
-  std::list<std::string> lru_;  ///< front = most recently used
-  RegistryStats stats_;
+  std::map<std::string, std::shared_future<std::shared_ptr<const LacoModels>>> pending_
+      LACO_GUARDED_BY(mutex_);
+  std::list<std::string> lru_ LACO_GUARDED_BY(mutex_);  ///< front = most recently used
+  RegistryStats stats_ LACO_GUARDED_BY(mutex_);
 };
 
 /// Process-wide registry shared by the CLI, services, and examples.

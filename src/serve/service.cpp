@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,7 +17,7 @@ InferenceService::InferenceService(ServiceConfig config)
 
 InferenceService::~InferenceService() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   flusher_wakeup_.notify_all();
@@ -36,7 +37,7 @@ std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModel
 
   std::optional<Batch> full;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) throw std::runtime_error("InferenceService::submit after shutdown");
     ++counters_.requests;
     ++counters_.in_flight;
@@ -49,7 +50,7 @@ std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModel
 
 void InferenceService::enqueue(Batch batch) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++counters_.batches;
     counters_.batched_items += batch.items.size();
   }
@@ -70,7 +71,7 @@ void InferenceService::execute(Batch batch) {
 
   const auto now = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& t0 : enqueued) {
       const double ms = std::chrono::duration<double, std::milli>(now - t0).count();
       if (latencies_ms_.size() < config_.latency_reservoir) {
@@ -89,18 +90,18 @@ void InferenceService::execute(Batch batch) {
 void InferenceService::drain() {
   std::vector<Batch> due;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     due = batcher_.flush_due(std::chrono::steady_clock::now(), /*force=*/true);
   }
   for (Batch& batch : due) enqueue(std::move(batch));
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_.wait(lock, [this] { return counters_.in_flight == 0 && batcher_.pending() == 0; });
+  MutexLock lock(mutex_);
+  while (counters_.in_flight != 0 || batcher_.pending() != 0) drained_.wait(mutex_);
 }
 
 ServiceCounters InferenceService::counters() const {
   ServiceCounters c;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     c = counters_;
     c.pending = batcher_.pending();
   }
@@ -110,23 +111,25 @@ ServiceCounters InferenceService::counters() const {
 }
 
 std::vector<double> InferenceService::latency_snapshot_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return latencies_ms_;
 }
 
 void InferenceService::flusher_loop() {
-  const auto tick = std::chrono::duration<double, std::milli>(
-      std::max(0.1, config_.batcher.max_linger_ms * 0.5));
+  // Microsecond resolution: a sub-millisecond linger must not truncate
+  // to a zero-length (busy) wait.
+  const auto tick = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::duration<double, std::milli>(
+          std::max(0.1, config_.batcher.max_linger_ms * 0.5)));
   for (;;) {
     std::vector<Batch> due;
     bool exit_after_flush = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      // Microsecond resolution: a sub-millisecond linger must not
-      // truncate to a zero-length (busy) wait.
-      flusher_wakeup_.wait_for(
-          lock, std::chrono::duration_cast<std::chrono::microseconds>(tick),
-          [this] { return stopping_; });
+      MutexLock lock(mutex_);
+      // Plain timed wait, no predicate lambda: a spurious or early
+      // wakeup just runs one extra (harmless) flush_due pass, and the
+      // thread-safety analysis sees every guarded read under the lock.
+      if (!stopping_) flusher_wakeup_.wait_for(mutex_, tick);
       exit_after_flush = stopping_;
       due = batcher_.flush_due(std::chrono::steady_clock::now(), /*force=*/stopping_);
     }

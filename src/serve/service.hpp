@@ -16,17 +16,20 @@
 // Thread-safety: submit() may be called from any number of threads.
 // Results are independent tensors (no shared autograd state); model
 // weights are shared read-only (see nn/tensor.hpp "Concurrency").
+// Every member behind mutex_ is LACO_GUARDED_BY-annotated and the
+// clang -Wthread-safety CI job proves the locking discipline at
+// compile time (docs/STATIC_ANALYSIS.md).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/batcher.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace laco::serve {
@@ -67,36 +70,36 @@ class InferenceService {
   /// by value and must not be mutated by the caller afterwards. The
   /// future yields the [1, C_out, H, W] output or the batch's error.
   std::future<nn::Tensor> submit(std::shared_ptr<const LacoModels> models, ModelKind kind,
-                                 nn::Tensor input);
+                                 nn::Tensor input) LACO_EXCLUDES(mutex_);
 
   /// Blocks until every submitted request has completed.
-  void drain();
+  void drain() LACO_EXCLUDES(mutex_);
 
-  ServiceCounters counters() const;
+  ServiceCounters counters() const LACO_EXCLUDES(mutex_);
 
   /// Latency (ms, submit → result) of up to `latency_reservoir` recent
   /// requests, unordered. Use `percentile` for p50/p99.
-  std::vector<double> latency_snapshot_ms() const;
+  std::vector<double> latency_snapshot_ms() const LACO_EXCLUDES(mutex_);
 
   const ServiceConfig& config() const { return config_; }
 
  private:
   /// Counts the batch and hands it to the pool. Callers must NOT hold
   /// mutex_: the pool's bounded queue blocks, and workers take mutex_.
-  void enqueue(Batch batch);
-  void execute(Batch batch);
-  void flusher_loop();
+  void enqueue(Batch batch) LACO_EXCLUDES(mutex_);
+  void execute(Batch batch) LACO_EXCLUDES(mutex_);
+  void flusher_loop() LACO_EXCLUDES(mutex_);
 
   ServiceConfig config_;
   ThreadPool pool_;
-  mutable std::mutex mutex_;
-  std::condition_variable drained_;
-  Batcher batcher_;
-  ServiceCounters counters_;
-  std::vector<double> latencies_ms_;
-  std::size_t latency_next_ = 0;  ///< reservoir write cursor
-  bool stopping_ = false;
-  std::condition_variable flusher_wakeup_;
+  mutable Mutex mutex_;
+  CondVar drained_;
+  Batcher batcher_ LACO_GUARDED_BY(mutex_);
+  ServiceCounters counters_ LACO_GUARDED_BY(mutex_);
+  std::vector<double> latencies_ms_ LACO_GUARDED_BY(mutex_);
+  std::size_t latency_next_ LACO_GUARDED_BY(mutex_) = 0;  ///< reservoir write cursor
+  bool stopping_ LACO_GUARDED_BY(mutex_) = false;
+  CondVar flusher_wakeup_;
   std::thread flusher_;
 };
 

@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace laco {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -26,7 +27,7 @@ LogLevel log_level() { return g_level.load(); }
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  const std::scoped_lock lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::cerr << level_tag(level) << ' ' << message << '\n';
 }
 }  // namespace detail

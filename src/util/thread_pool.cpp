@@ -15,8 +15,8 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return stopping_ || queue_.size() < capacity_; });
+    MutexLock lock(mutex_);
+    while (!stopping_ && queue_.size() >= capacity_) not_full_.wait(mutex_);
     if (stopping_) return false;
     queue_.push_back(std::move(task));
     max_depth_ = std::max(max_depth_, queue_.size());
@@ -27,7 +27,7 @@ bool ThreadPool::submit(std::function<void()> task) {
 
 bool ThreadPool::try_submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(task));
     max_depth_ = std::max(max_depth_, queue_.size());
@@ -38,7 +38,7 @@ bool ThreadPool::try_submit(std::function<void()> task) {
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
@@ -51,12 +51,12 @@ void ThreadPool::shutdown() {
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t ThreadPool::max_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return max_depth_;
 }
 
@@ -64,8 +64,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) not_empty_.wait(mutex_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();

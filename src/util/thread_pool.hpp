@@ -4,15 +4,20 @@
 // queue is at capacity, so producers cannot outrun the workers without
 // bound. Tasks are plain std::function<void()>; exceptions escaping a
 // task terminate (tasks own their error handling, e.g. via promises).
+//
+// Locking discipline is statically checked: every shared member is
+// LACO_GUARDED_BY(mutex_) and the clang -Wthread-safety CI job fails
+// on any unlocked access (see docs/STATIC_ANALYSIS.md).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace laco {
 
@@ -30,30 +35,32 @@ class ThreadPool {
 
   /// Enqueues a task, blocking while the queue is full. Returns false
   /// (dropping the task) after shutdown() has been called.
-  bool submit(std::function<void()> task);
+  bool submit(std::function<void()> task) LACO_EXCLUDES(mutex_);
 
   /// Non-blocking enqueue; false when the queue is full or shut down.
-  bool try_submit(std::function<void()> task);
+  bool try_submit(std::function<void()> task) LACO_EXCLUDES(mutex_);
 
   /// Stops accepting tasks, runs everything already queued, joins the
   /// workers. Idempotent; also called by the destructor.
-  void shutdown();
+  void shutdown() LACO_EXCLUDES(mutex_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const LACO_EXCLUDES(mutex_);
   /// High-water mark of the queue depth since construction.
-  std::size_t max_queue_depth() const;
+  std::size_t max_queue_depth() const LACO_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() LACO_EXCLUDES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t max_depth_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<std::function<void()>> queue_ LACO_GUARDED_BY(mutex_);
+  std::size_t max_depth_ LACO_GUARDED_BY(mutex_) = 0;
+  bool stopping_ LACO_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor and shutdown(); workers never touch
+  // it, so it needs no capability.
   std::vector<std::thread> workers_;
 };
 

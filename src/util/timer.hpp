@@ -5,6 +5,7 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace laco {

@@ -1,0 +1,12 @@
+// Fixture: bare assert() in library code. Expected: one [bare-assert]
+// diagnostic at line 10 — and none for static_assert, LACO_CHECK, or
+// the token inside a string literal.
+#include <cassert>
+
+static_assert(sizeof(int) >= 2, "sane platform");
+
+int fixture_checked(int x) {
+  const char* prose = "please assert(nothing) here";
+  assert(x > 0);
+  return x + (prose != nullptr);
+}

@@ -1,0 +1,11 @@
+// Fixture: manual memory management. Expected: [naked-new] at lines 8
+// and 9 — and none for the deleted copy constructor or `new_size`.
+struct FixtureOwner {
+  FixtureOwner(const FixtureOwner&) = delete;
+};
+
+int* fixture_leaky(int new_size) {
+  int* p = new int[new_size];
+  delete[] p;
+  return nullptr;
+}

@@ -1,0 +1,14 @@
+// Fixture: a model forward outside any NoGradGuard scope, as if a
+// serve-layer file forgot the tensor.hpp concurrency contract.
+// Expected (linted as src/serve/...): [nograd-forward] at lines 7 and
+// 12, and nothing for the guarded forward between them. (Fixtures are
+// lint inputs, not translation units — they are never compiled.)
+int fixture_serve(FixtureModel& model) {
+  int bad = model.forward(1);
+  {
+    nn::NoGradGuard guard;
+    bad += model.forward(2);
+  }
+  bad += model.forward(3);
+  return bad;
+}

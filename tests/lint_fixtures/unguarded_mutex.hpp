@@ -1,0 +1,14 @@
+// Fixture: a mutex member with no LACO_GUARDED_BY annotation anywhere
+// in the header. Expected: [mutex-guard] at the member's line.
+#pragma once
+
+#include <mutex>
+
+class FixtureCache {
+ public:
+  int value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int value_ = 0;
+};

@@ -1,0 +1,8 @@
+// Fixture: terminal output from library code. Expected: [iostream] at
+// lines 6 and 7 when linted under src/, none when linted under bench/.
+#include <iostream>
+
+void fixture_print() {
+  std::cout << "congestion map ready\n";
+  std::cerr << "overflow!\n";
+}

@@ -1,0 +1,9 @@
+// Fixture: C PRNG usage. Expected: [rand] at lines 7 and 8 — and none
+// for identifiers that merely contain the substring.
+#include <cstdlib>
+
+int fixture_random() {
+  int operand = 3;
+  std::srand(42);
+  return rand() + operand;
+}

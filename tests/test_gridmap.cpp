@@ -123,5 +123,14 @@ TEST(GridMap, L1Distance) {
   EXPECT_DOUBLE_EQ(GridMap::l1_distance(a, b), 3.0);
 }
 
+TEST(GridMapDeathTest, OutOfRangeIndexAbortsInAllBuildTypes) {
+  // LACO_CHECK (not assert): a bad bin index must abort in Release
+  // instead of silently corrupting congestion maps.
+  GridMap m(4, 3, Rect{0, 0, 8, 6});
+  EXPECT_DEATH(m.at(4, 0), "LACO_CHECK failed");
+  EXPECT_DEATH(m.at(0, 3), "LACO_CHECK failed");
+  EXPECT_DEATH(m.at(-1, 0), "LACO_CHECK failed");
+}
+
 }  // namespace
 }  // namespace laco

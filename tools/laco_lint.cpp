@@ -1,0 +1,94 @@
+// laco-lint CLI — walks the repository and enforces the project
+// invariants in tools/lint_core.hpp. Registered as a tier-1 ctest
+// (`laco_lint` for the textual rules, `laco_lint_headers` for the
+// self-contained-header compile checks), so `ctest` fails on any
+// violation. See docs/STATIC_ANALYSIS.md for the rule catalogue.
+//
+// Usage:
+//   laco-lint --root DIR [options] [relpath...]
+//     --root DIR         repository root (default: current directory)
+//     --no-text          skip the textual rules
+//     --self-contained   also compile every header standalone
+//     --cxx PATH         compiler for --self-contained (default: c++)
+//     --cxxflags FLAGS   flags for --self-contained
+//     --jobs N           parallel header compiles (default: hw threads)
+//     relpath...         lint only these root-relative files
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --root DIR [--no-text] [--self-contained] [--cxx PATH]"
+               " [--cxxflags FLAGS] [--jobs N] [relpath...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  laco::lint::Options options;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      root = v;
+    } else if (arg == "--no-text") {
+      options.text_rules = false;
+    } else if (arg == "--self-contained") {
+      options.check_self_contained = true;
+    } else if (arg == "--cxx") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      options.cxx = v;
+    } else if (arg == "--cxxflags") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      options.cxx_flags = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      options.jobs = std::atoi(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  std::vector<laco::lint::Diagnostic> diagnostics;
+  try {
+    if (explicit_files.empty()) {
+      diagnostics = laco::lint::lint_tree(root, options);
+    } else {
+      for (const std::string& rel : explicit_files) {
+        auto file_diags =
+            laco::lint::lint_file(std::filesystem::path(root) / rel, rel, options);
+        diagnostics.insert(diagnostics.end(), file_diags.begin(), file_diags.end());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "laco-lint: " << e.what() << '\n';
+    return 2;
+  }
+
+  for (const auto& d : diagnostics) std::cout << d.str() << '\n';
+  if (!diagnostics.empty()) {
+    std::cerr << "laco-lint: " << diagnostics.size() << " violation(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// laco-lint — project-invariant linter for the LACO tree. The rules
+// encode contracts the compiler cannot express and review keeps
+// forgetting; each is registered as a tier-1 ctest so `ctest` fails on
+// violations (see docs/STATIC_ANALYSIS.md for the rule catalogue and
+// the suppression policy).
+//
+// This header is the library half: tools/laco_lint.cpp wraps it in a
+// CLI, tests/test_lint.cpp drives it over fixture files and asserts
+// the exact diagnostics.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace laco::lint {
+
+struct Diagnostic {
+  std::string relpath;  ///< root-relative, '/' separators
+  int line = 1;
+  std::string rule;     ///< stable id, e.g. "bare-assert"
+  std::string message;
+
+  /// Canonical rendering: "path:line: [rule] message".
+  std::string str() const;
+};
+
+struct Options {
+  bool text_rules = true;           ///< the per-file textual rules below
+  bool check_self_contained = false;  ///< compile each header standalone
+  std::string cxx;                  ///< compiler for self-contained checks
+  std::string cxx_flags;            ///< e.g. "-std=c++20 -I /repo/src"
+  int jobs = 0;                     ///< parallel header compiles; 0 = auto
+};
+
+/// Strips //, /* */ comments and string/char literals, preserving line
+/// structure, so rule patterns never match inside prose or literals.
+std::string strip_comments_and_strings(const std::string& source);
+
+/// Runs the textual rules on one file. `relpath` decides scope (e.g.
+/// bare-assert only fires under src/); the file itself may live
+/// anywhere, which is how the fixture tests exercise scoped rules.
+std::vector<Diagnostic> lint_file(const std::filesystem::path& file, const std::string& relpath,
+                                  const Options& options = {});
+
+/// Root-relative paths of every C++ file the tree walk visits:
+/// src/ tests/ tools/ bench/, skipping lint_fixtures/ (rule-violating
+/// test inputs) and anything that is not .hpp/.h/.cpp/.cc.
+std::vector<std::string> collect_files(const std::filesystem::path& root);
+
+/// Lints the whole tree under `root` per `options` (textual rules
+/// and/or self-contained header compiles), diagnostics sorted by path.
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& root, const Options& options = {});
+
+}  // namespace laco::lint
