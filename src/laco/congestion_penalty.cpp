@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "nn/ops.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
 
 namespace laco {
 namespace {
@@ -149,6 +151,55 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
   if ((iteration - config_.start_iteration) % config_.apply_every != 0) return 0.0;
   if (traits_.uses_lookahead && !history_.ready()) return 0.0;
 
+  ++stats_.applications;
+  std::vector<double> pen_gx(design.num_movable(), 0.0);
+  std::vector<double> pen_gy(design.num_movable(), 0.0);
+
+  // Degraded mode: skip the learned path entirely while the bench timer
+  // runs; when it reaches zero the next application re-probes it.
+  bool use_learned = true;
+  if (degraded_remaining_ > 0) {
+    --degraded_remaining_;
+    use_learned = false;
+  }
+
+  double loss = 0.0;
+  bool have_loss = false;
+  if (use_learned) {
+    try {
+      loss = learned_penalty(design, pen_gx, pen_gy);
+      have_loss = true;
+      ++stats_.learned_applications;
+      consecutive_failures_ = 0;
+    } catch (const std::exception& e) {
+      ++stats_.learned_failures;
+      ++consecutive_failures_;
+      LACO_LOG_WARN << "CongestionPenalty: learned penalty failed at iteration " << iteration
+                    << " (" << e.what() << "); using analytic RUDY fallback";
+      if (consecutive_failures_ >= config_.degrade_threshold) {
+        degraded_remaining_ = std::max(1, config_.reprobe_after);
+        consecutive_failures_ = 0;
+        ++stats_.degradations;
+        LACO_LOG_WARN << "CongestionPenalty: " << config_.degrade_threshold
+                      << " consecutive failures; degrading to analytic penalty for "
+                      << degraded_remaining_ << " applications before re-probing";
+      }
+      // The learned path may have thrown mid-accumulation.
+      std::fill(pen_gx.begin(), pen_gx.end(), 0.0);
+      std::fill(pen_gy.begin(), pen_gy.end(), 0.0);
+    }
+  }
+  if (!have_loss) {
+    ++stats_.analytic_fallbacks;
+    loss = analytic_penalty(design, pen_gx, pen_gy);
+  }
+  add_scaled(design, pen_gx, pen_gy, grad_x, grad_y);
+  return loss;
+}
+
+double CongestionPenalty::learned_penalty(const Design& design, std::vector<double>& pen_gx,
+                                          std::vector<double>& pen_gy) {
+  LACO_FAILPOINT("laco.penalty");
   nn::Tensor hi_input, lo_input;
   nn::Tensor f_in = build_input(design, hi_input, lo_input, /*with_grad=*/true);
 
@@ -167,10 +218,7 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
 
   // Chain tensor gradients back to cell coordinates through the analytic
   // feature backward passes.
-  std::vector<double> pen_gx(design.num_movable(), 0.0);
-  std::vector<double> pen_gy(design.num_movable(), 0.0);
   const Rect& region = design.core();
-
   const auto accumulate = [&](const nn::Tensor& input, const FeatureExtractor& extractor,
                               const FeatureScale& scale) {
     if (!input.defined() || input.grad().empty()) return;
@@ -196,7 +244,45 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
     accumulate(hi_input, hi_extractor_, models_.scale_hi);
     if (traits_.uses_lookahead) accumulate(lo_input, lo_extractor_, models_.scale_lo);
   }
+  return penalty.item();
+}
 
+double CongestionPenalty::analytic_penalty(const Design& design, std::vector<double>& pen_gx,
+                                           std::vector<double>& pen_gy) {
+  std::optional<ScopedPhase> phase;
+  if (breakdown_) phase.emplace(*breakdown_, "analytic fallback");
+
+  // L = (1/MN) Σ (s·rudy)² at the congestion resolution — the same loss
+  // shape as Eq. (12) with the identity model in place of f∘g, so the
+  // η-normalized gradient keeps pushing cells out of RUDY hot spots even
+  // with no usable network. dL/d rudy_i = 2 s² rudy_i / MN chains
+  // through the exact RUDY backward.
+  const FeatureFrame frame = compute_frame(design, hi_extractor_, nullptr, nullptr, 0);
+  const double s = static_cast<double>(models_.scale_hi.scale[0]);
+  const double inv_size = 1.0 / static_cast<double>(frame.rudy.size());
+  double loss = 0.0;
+  GridMap d_rudy(hi_extractor_.config().nx, hi_extractor_.config().ny, design.core(), 0.0);
+  for (std::size_t i = 0; i < frame.rudy.size(); ++i) {
+    const double r = s * frame.rudy[i];
+    loss += r * r * inv_size;
+    d_rudy[i] = 2.0 * s * s * frame.rudy[i] * inv_size;
+  }
+
+  const GridMap zero(hi_extractor_.config().nx, hi_extractor_.config().ny, design.core(), 0.0);
+  FeatureFrameGrad upstream{std::move(d_rudy), zero, zero, zero};
+  std::vector<double> gx, gy;
+  hi_extractor_.backward(design, upstream, gx, gy);
+  for (std::size_t i = 0; i < gx.size(); ++i) {
+    pen_gx[i] += gx[i];
+    pen_gy[i] += gy[i];
+  }
+  return loss;
+}
+
+void CongestionPenalty::add_scaled(const Design& design, const std::vector<double>& pen_gx,
+                                   const std::vector<double>& pen_gy,
+                                   std::vector<double>& grad_x,
+                                   std::vector<double>& grad_y) const {
   // Normalize the penalty gradient to an η fraction of the incoming
   // (wirelength + density) gradient norm, then add.
   const double base_norm = abs_sum(grad_x, grad_y);
@@ -209,7 +295,6 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
       grad_y[static_cast<std::size_t>(movable[i])] += s * pen_gy[i];
     }
   }
-  return penalty.item();
 }
 
 bool CongestionPenalty::predict(const Design& design, GridMap& out) {

@@ -17,6 +17,7 @@
 // in DESIGN.md.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "features/feature_stack.hpp"
@@ -47,6 +48,25 @@ struct PenaltyConfig {
   double eta = 0.25;          ///< penalty gradient weight (norm fraction)
   int start_iteration = 50;   ///< no penalty before this iteration
   int apply_every = 5;        ///< penalty recomputed every n iterations
+
+  // Graceful degradation (docs/RELIABILITY.md): a learned-penalty
+  // failure falls back to the analytic RUDY penalty for that iteration;
+  // after `degrade_threshold` consecutive failures the learned path is
+  // skipped entirely for `reprobe_after` applications before probing it
+  // again. The placement run always completes.
+  int degrade_threshold = 3;  ///< consecutive failures that enter degraded mode
+  int reprobe_after = 4;      ///< analytic-only applications per degraded stretch
+};
+
+/// Degradation bookkeeping for one CongestionPenalty instance; surfaced
+/// through LacoRunResult::penalty_stats so callers (and the chaos ctest
+/// target) can assert the fallback actually engaged.
+struct PenaltyStats {
+  std::uint64_t applications = 0;          ///< iterations where the penalty ran
+  std::uint64_t learned_applications = 0;  ///< learned f∘g path succeeded
+  std::uint64_t learned_failures = 0;      ///< learned path threw
+  std::uint64_t analytic_fallbacks = 0;    ///< analytic RUDY penalty used instead
+  std::uint64_t degradations = 0;          ///< times degraded mode was entered
 };
 
 class CongestionPenalty {
@@ -67,6 +87,10 @@ class CongestionPenalty {
   bool predict(const Design& design, GridMap& out);
 
   const PenaltyConfig& config() const { return config_; }
+  const PenaltyStats& stats() const { return stats_; }
+  /// True while the learned path is benched and the analytic fallback
+  /// carries the penalty (docs/RELIABILITY.md).
+  bool degraded() const { return degraded_remaining_ > 0; }
 
  private:
   /// Assembles f's input tensor; `hi_input`/`lo_input` receive the
@@ -76,6 +100,21 @@ class CongestionPenalty {
   FeatureFrame compute_frame(const Design& design, const FeatureExtractor& extractor,
                              const std::vector<double>* px, const std::vector<double>* py,
                              int iteration) const;
+  /// Full learned path: build input, f∘g forward, autograd backward,
+  /// analytic feature chain into `pen_gx`/`pen_gy`. Throws on model or
+  /// shape errors (and when the "laco.penalty" failpoint fires).
+  double learned_penalty(const Design& design, std::vector<double>& pen_gx,
+                         std::vector<double>& pen_gy);
+  /// Model-free fallback: L = mean(normalized RUDY²) with its exact
+  /// gradient chained through the feature backward. Cannot fail for
+  /// model-related reasons — it touches no network.
+  double analytic_penalty(const Design& design, std::vector<double>& pen_gx,
+                          std::vector<double>& pen_gy);
+  /// η-normalizes the penalty gradient against the incoming gradient
+  /// norm and adds it into the CellId-indexed buffers.
+  void add_scaled(const Design& design, const std::vector<double>& pen_gx,
+                  const std::vector<double>& pen_gy, std::vector<double>& grad_x,
+                  std::vector<double>& grad_y) const;
 
   PenaltyConfig config_;
   LacoModels models_;
@@ -85,6 +124,11 @@ class CongestionPenalty {
   FrameHistory history_;
   // Positions at the last history tick, at congestion resolution reuse.
   RuntimeBreakdown* breakdown_ = nullptr;
+
+  // Degradation state (single-threaded with the placer loop).
+  PenaltyStats stats_;
+  int consecutive_failures_ = 0;  ///< learned-path failures in a row
+  int degraded_remaining_ = 0;    ///< analytic-only applications left
 };
 
 }  // namespace laco

@@ -32,6 +32,7 @@ LacoRunResult run_laco_placement(Design& design, const LacoPlacerConfig& config,
   }
 
   result.placement = placer.run();
+  if (penalty) result.penalty_stats = penalty->stats();
   result.evaluation = evaluate_placement(design, config.router);
   return result;
 }

@@ -23,6 +23,10 @@ struct LacoRunResult {
   PlacementResult placement;
   PlacementEvaluation evaluation;
   RuntimeBreakdown breakdown;
+  /// Degradation bookkeeping (zero-valued for schemes without a
+  /// penalty): how often the learned penalty ran, failed, and fell back
+  /// to the analytic RUDY penalty (docs/RELIABILITY.md).
+  PenaltyStats penalty_stats;
 };
 
 /// Places `design` (mutating it). `models` must be provided for every

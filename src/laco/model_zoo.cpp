@@ -1,5 +1,6 @@
 #include "laco/model_zoo.hpp"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -46,26 +47,10 @@ bool save_models(const LacoModels& models, const std::string& dir) {
   fs::create_directories(dir, ec);
   if (ec) return false;
 
-  std::ofstream manifest(dir + "/" + kManifest);
-  if (!manifest) return false;
-  manifest << "format=laco-models-v1\n";
-  manifest << "scheme=" << static_cast<int>(models.scheme) << '\n';
-  const CongestionFcnConfig& fc = models.congestion->config();
-  manifest << "f.in_channels=" << fc.in_channels << '\n'
-           << "f.base_width=" << fc.base_width << '\n'
-           << "f.leaky_slope=" << fc.leaky_slope << '\n';
-  if (models.lookahead) {
-    const LookAheadConfig& gc = models.lookahead->config();
-    manifest << "g.frames=" << gc.frames << '\n'
-             << "g.channels_per_frame=" << gc.channels_per_frame << '\n'
-             << "g.base_width=" << gc.base_width << '\n'
-             << "g.inception_blocks=" << gc.inception_blocks << '\n'
-             << "g.groups=" << gc.groups << '\n'
-             << "g.leaky_slope=" << gc.leaky_slope << '\n'
-             << "g.with_vae=" << (gc.with_vae ? 1 : 0) << '\n';
-  }
-  if (!manifest) return false;
-
+  // Weights first, manifest last and atomically: the manifest is the
+  // publication point, so a crash mid-save leaves either the previous
+  // complete model set or no manifest at all — never a manifest that
+  // references half-written checkpoints.
   if (!nn::save_parameters_file(*models.congestion, dir + "/congestion.bin")) return false;
   if (models.lookahead &&
       !nn::save_parameters_file(*models.lookahead, dir + "/lookahead.bin")) {
@@ -73,6 +58,38 @@ bool save_models(const LacoModels& models, const std::string& dir) {
   }
   if (!models.scale_hi.save(dir + "/scale_hi.txt")) return false;
   if (!models.scale_lo.save(dir + "/scale_lo.txt")) return false;
+
+  const std::string manifest_path = dir + "/" + kManifest;
+  const std::string manifest_tmp = manifest_path + ".tmp";
+  {
+    std::ofstream manifest(manifest_tmp, std::ios::trunc);
+    if (!manifest) return false;
+    manifest << "format=laco-models-v1\n";
+    manifest << "scheme=" << static_cast<int>(models.scheme) << '\n';
+    const CongestionFcnConfig& fc = models.congestion->config();
+    manifest << "f.in_channels=" << fc.in_channels << '\n'
+             << "f.base_width=" << fc.base_width << '\n'
+             << "f.leaky_slope=" << fc.leaky_slope << '\n';
+    if (models.lookahead) {
+      const LookAheadConfig& gc = models.lookahead->config();
+      manifest << "g.frames=" << gc.frames << '\n'
+               << "g.channels_per_frame=" << gc.channels_per_frame << '\n'
+               << "g.base_width=" << gc.base_width << '\n'
+               << "g.inception_blocks=" << gc.inception_blocks << '\n'
+               << "g.groups=" << gc.groups << '\n'
+               << "g.leaky_slope=" << gc.leaky_slope << '\n'
+               << "g.with_vae=" << (gc.with_vae ? 1 : 0) << '\n';
+    }
+    manifest.flush();
+    if (!manifest) {
+      std::remove(manifest_tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(manifest_tmp.c_str(), manifest_path.c_str()) != 0) {
+    std::remove(manifest_tmp.c_str());
+    return false;
+  }
   return true;
 }
 

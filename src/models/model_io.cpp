@@ -2,17 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 namespace laco {
 
 bool FeatureScale::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "feature_scale v1\n";
-  for (const float s : scale) out << s << '\n';
-  return static_cast<bool>(out);
+  // Atomic publish (write-temp-then-rename), same contract as
+  // nn::save_parameters_file: no reader ever sees a partial file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << "feature_scale v1\n";
+    for (const float s : scale) out << s << '\n';
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 FeatureScale FeatureScale::load(const std::string& path) {
@@ -20,10 +35,15 @@ FeatureScale FeatureScale::load(const std::string& path) {
   if (!in) throw std::runtime_error("FeatureScale::load: cannot open '" + path + "'");
   std::string header, version;
   in >> header >> version;
-  if (header != "feature_scale") throw std::runtime_error("FeatureScale::load: bad header");
+  if (header != "feature_scale") {
+    throw std::runtime_error("FeatureScale::load: bad header in '" + path + "'");
+  }
   FeatureScale fs;
-  for (float& s : fs.scale) {
-    if (!(in >> s)) throw std::runtime_error("FeatureScale::load: truncated");
+  for (std::size_t c = 0; c < fs.scale.size(); ++c) {
+    if (!(in >> fs.scale[c])) {
+      throw std::runtime_error("FeatureScale::load: truncated at channel " + std::to_string(c) +
+                               " in '" + path + "'");
+    }
   }
   return fs;
 }

@@ -1,81 +1,203 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/crc32.hpp"
 
 namespace laco::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4c41434fu;  // "LACO"
+// v1 wrote the entry count right after the magic; the sentinel can
+// never be a real v1 count, so it cleanly marks versioned streams.
+constexpr std::uint32_t kVersionSentinel = 0xffffffffu;
+constexpr std::uint32_t kVersion = 2;
 
-void write_u32(std::ostream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+// Corruption guards: a flipped bit in a header length must produce a
+// clean error, not a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxParameters = 1u << 20;
+constexpr std::uint32_t kMaxNameLength = 1u << 12;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::size_t kMaxTensorBytes = std::size_t{1} << 31;
 
-std::uint32_t read_u32(std::istream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) throw std::runtime_error("load_parameters: truncated stream");
-  return v;
-}
+/// Serializer that mirrors every checksummed byte into a running CRC.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
 
-void write_string(std::ostream& out, const std::string& s) {
-  write_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
+  void bytes(const void* data, std::size_t n, bool checksum = true) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    if (checksum) crc_ = crc32(data, n, crc_);
+  }
+  void u32(std::uint32_t v, bool checksum = true) { bytes(&v, sizeof(v), checksum); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  std::uint32_t crc() const { return crc_; }
 
-std::string read_string(std::istream& in) {
-  const std::uint32_t n = read_u32(in);
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  if (!in) throw std::runtime_error("load_parameters: truncated string");
-  return s;
-}
+ private:
+  std::ostream& out_;
+  std::uint32_t crc_ = 0;
+};
+
+/// Deserializer tracking the byte offset of every read (for error
+/// messages) and, once start_checksum() is called, the running CRC of
+/// everything consumed.
+class Reader {
+ public:
+  Reader(std::istream& in, std::string source) : in_(in), source_(std::move(source)) {}
+
+  /// Error qualified with the source and the offset where the failing
+  /// read began — "at byte offset 132 in 'congestion.bin'".
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("load_parameters: " + what + " at byte offset " +
+                             std::to_string(offset_) + " in '" + source_ + "'");
+  }
+
+  void bytes(void* dst, std::size_t n, const char* what) {
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!in_) fail(std::string("truncated read (") + what + ")");
+    if (checksumming_) crc_ = crc32(dst, n, crc_);
+    offset_ += n;
+  }
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v = 0;
+    bytes(&v, sizeof(v), what);
+    return v;
+  }
+  std::string str(const char* what) {
+    const std::uint32_t n = u32(what);
+    if (n > kMaxNameLength) {
+      fail(std::string("implausible string length ") + std::to_string(n) + " (" + what + ")");
+    }
+    std::string s(n, '\0');
+    bytes(s.data(), n, what);
+    return s;
+  }
+
+  void start_checksum() { checksumming_ = true; }
+  void stop_checksum() { checksumming_ = false; }
+  std::uint32_t crc() const { return crc_; }
+  const std::string& source() const { return source_; }
+
+ private:
+  std::istream& in_;
+  std::string source_;
+  std::size_t offset_ = 0;
+  std::uint32_t crc_ = 0;
+  bool checksumming_ = false;
+};
 
 }  // namespace
 
 void save_parameters(const Module& module, std::ostream& out) {
   const auto named = module.named_parameters();
-  write_u32(out, kMagic);
-  write_u32(out, static_cast<std::uint32_t>(named.size()));
+  Writer w(out);
+  w.u32(kMagic, /*checksum=*/false);
+  w.u32(kVersionSentinel, /*checksum=*/false);
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(named.size()));
   for (const auto& [name, tensor] : named) {
-    write_string(out, name);
-    write_u32(out, static_cast<std::uint32_t>(tensor.shape().size()));
-    for (const int d : tensor.shape()) write_u32(out, static_cast<std::uint32_t>(d));
-    out.write(reinterpret_cast<const char*>(tensor.data().data()),
-              static_cast<std::streamsize>(tensor.data().size() * sizeof(float)));
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(tensor.shape().size()));
+    for (const int d : tensor.shape()) w.u32(static_cast<std::uint32_t>(d));
+    w.bytes(tensor.data().data(), tensor.data().size() * sizeof(float));
   }
+  const std::uint32_t digest = w.crc();
+  w.u32(digest, /*checksum=*/false);
 }
 
 bool save_parameters_file(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  save_parameters(module, out);
-  return static_cast<bool>(out);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    save_parameters(module, out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  // rename(2) is atomic within a filesystem: readers see either the old
+  // complete file or the new complete file, never a partial write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
-void load_parameters(Module& module, std::istream& in) {
-  if (read_u32(in) != kMagic) throw std::runtime_error("load_parameters: bad magic");
-  const std::uint32_t count = read_u32(in);
+void load_parameters(Module& module, std::istream& in, const std::string& source) {
+  Reader r(in, source);
+  if (r.u32("magic") != kMagic) r.fail("bad magic (not a LACO checkpoint)");
+
+  std::uint32_t count = 0;
+  bool versioned = false;
+  const std::uint32_t second = r.u32("header");
+  if (second == kVersionSentinel) {
+    versioned = true;
+    r.start_checksum();
+    const std::uint32_t version = r.u32("version");
+    if (version != kVersion) {
+      r.fail("unsupported format version " + std::to_string(version));
+    }
+    count = r.u32("parameter count");
+  } else {
+    count = second;  // v1: the word after the magic is the entry count
+  }
+  if (count > kMaxParameters) {
+    r.fail("implausible parameter count " + std::to_string(count));
+  }
+
   std::map<std::string, std::pair<Shape, std::vector<float>>> loaded;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::string name = read_string(in);
-    const std::uint32_t rank = read_u32(in);
+    const std::string name = r.str("parameter name");
+    const std::uint32_t rank = r.u32("tensor rank");
+    if (rank > kMaxRank) r.fail("implausible tensor rank " + std::to_string(rank));
     Shape shape(rank);
-    for (std::uint32_t d = 0; d < rank; ++d) shape[d] = static_cast<int>(read_u32(in));
-    std::vector<float> data(static_cast<std::size_t>(numel(shape)));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_parameters: truncated tensor data");
+    std::size_t elements = 1;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      const std::uint32_t dim = r.u32("tensor dim");
+      shape[d] = static_cast<int>(dim);
+      if (shape[d] < 0 || (dim != 0 && elements > kMaxTensorBytes / sizeof(float) / dim)) {
+        r.fail("implausible shape for '" + name + "'");
+      }
+      elements *= dim;
+    }
+    std::vector<float> data(elements);
+    r.bytes(data.data(), data.size() * sizeof(float), "tensor data");
     loaded[name] = {std::move(shape), std::move(data)};
   }
+
+  if (versioned) {
+    const std::uint32_t computed = r.crc();
+    r.stop_checksum();
+    const std::uint32_t stored = r.u32("checksum");
+    if (stored != computed) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "checksum mismatch (stored 0x%08x, computed 0x%08x)",
+                    stored, computed);
+      r.fail(std::string(buf) + " — checkpoint corrupt");
+    }
+  }
+
   for (auto& [name, tensor] : module.named_parameters()) {
     const auto it = loaded.find(name);
-    if (it == loaded.end()) throw std::runtime_error("load_parameters: missing '" + name + "'");
+    if (it == loaded.end()) {
+      throw std::runtime_error("load_parameters: missing '" + name + "' in '" + source + "'");
+    }
     if (it->second.first != tensor.shape()) {
-      throw std::runtime_error("load_parameters: shape mismatch for '" + name + "'");
+      throw std::runtime_error("load_parameters: shape mismatch for '" + name + "' in '" +
+                               source + "'");
     }
     tensor.data() = it->second.second;
   }
@@ -84,7 +206,7 @@ void load_parameters(Module& module, std::istream& in) {
 void load_parameters_file(Module& module, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_parameters: cannot open '" + path + "'");
-  load_parameters(module, in);
+  load_parameters(module, in, path);
 }
 
 }  // namespace laco::nn

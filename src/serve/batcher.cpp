@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/ops.hpp"
+#include "util/failpoint.hpp"
 
 namespace laco::serve {
 
@@ -75,36 +76,47 @@ nn::Tensor take_sample(const nn::Tensor& batch, int n) {
   return out;
 }
 
+nn::Tensor forward_batch(const Batch& batch) {
+  nn::NoGradGuard guard;
+  LACO_FAILPOINT("serve.forward");
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(batch.items.size());
+  for (const BatchItem& item : batch.items) inputs.push_back(item.input);
+  const nn::Tensor stacked = nn::stack_batch(inputs);
+
+  const LacoModels& models = *batch.items.front().models;
+  if (batch.items.front().kind == ModelKind::kCongestion) {
+    if (!models.congestion) throw std::runtime_error("forward_batch: model set has no f");
+    return models.congestion->forward(stacked);
+  }
+  if (!models.lookahead) throw std::runtime_error("forward_batch: model set has no g");
+  return models.lookahead->forward(stacked).prediction;
+}
+
+void deliver_batch(Batch& batch, const nn::Tensor& output) {
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    batch.items[i].result.set_value(take_sample(output, static_cast<int>(i)));
+  }
+}
+
+void fail_batch(Batch& batch, std::exception_ptr error) {
+  for (BatchItem& item : batch.items) {
+    // A promise whose value was already set cannot fail again; guard so
+    // one satisfied promise cannot mask the batch error for the rest.
+    try {
+      item.result.set_exception(error);
+    } catch (const std::future_error&) {
+    }
+  }
+}
+
 void run_batch(Batch batch) {
   if (batch.items.empty()) return;
   try {
-    nn::NoGradGuard guard;
-    std::vector<nn::Tensor> inputs;
-    inputs.reserve(batch.items.size());
-    for (const BatchItem& item : batch.items) inputs.push_back(item.input);
-    const nn::Tensor stacked = nn::stack_batch(inputs);
-
-    const LacoModels& models = *batch.items.front().models;
-    nn::Tensor output;
-    if (batch.items.front().kind == ModelKind::kCongestion) {
-      if (!models.congestion) throw std::runtime_error("run_batch: model set has no f");
-      output = models.congestion->forward(stacked);
-    } else {
-      if (!models.lookahead) throw std::runtime_error("run_batch: model set has no g");
-      output = models.lookahead->forward(stacked).prediction;
-    }
-    for (std::size_t i = 0; i < batch.items.size(); ++i) {
-      batch.items[i].result.set_value(take_sample(output, static_cast<int>(i)));
-    }
+    const nn::Tensor output = forward_batch(batch);
+    deliver_batch(batch, output);
   } catch (...) {
-    for (BatchItem& item : batch.items) {
-      // A promise whose value was already set above cannot fail here;
-      // guard anyway so one bad promise cannot mask the batch error.
-      try {
-        item.result.set_exception(std::current_exception());
-      } catch (const std::future_error&) {
-      }
-    }
+    fail_batch(batch, std::current_exception());
   }
 }
 

@@ -41,6 +41,10 @@ struct BatchItem {
   nn::Tensor input;  ///< [1, C, H, W]
   std::promise<nn::Tensor> result;
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Per-request deadline; an item still unexecuted past it fails with
+  /// serve::DeadlineExceededError instead of burning a forward pass.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// A cut batch, ready for execution: every item shares models, kind,
@@ -87,10 +91,22 @@ class Batcher {
 /// Extracts sample `n` of an NCHW batch as a fresh [1, C, H, W] tensor.
 nn::Tensor take_sample(const nn::Tensor& batch, int n);
 
-/// Executes one batch: a single forward pass under NoGradGuard, then
-/// per-sample splitting into the items' promises. Any exception (shape
-/// mismatch, missing look-ahead model, ...) is delivered to every
-/// item's promise instead of propagating.
+/// One forward pass over the stacked batch under NoGradGuard. Throws on
+/// model/shape errors (and when the "serve.forward" failpoint fires);
+/// it never touches the items' promises, so the caller may retry a
+/// TransientError before committing the batch to failure.
+nn::Tensor forward_batch(const Batch& batch);
+
+/// Fulfills each item's promise with its sample of `output`.
+void deliver_batch(Batch& batch, const nn::Tensor& output);
+
+/// Delivers `error` to every not-yet-fulfilled promise in the batch.
+void fail_batch(Batch& batch, std::exception_ptr error);
+
+/// Executes one batch without retries: forward_batch + deliver_batch,
+/// any exception (shape mismatch, missing look-ahead model, ...)
+/// delivered to every item's promise instead of propagating. The
+/// hardened retry/breaker path lives in InferenceService::execute.
 void run_batch(Batch batch);
 
 }  // namespace laco::serve

@@ -1,0 +1,64 @@
+#include "serve/circuit_breaker.hpp"
+
+#include <algorithm>
+
+namespace laco::serve {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  config_.failure_threshold = std::max(1, config_.failure_threshold);
+  config_.cooldown_ms = std::max(0.0, config_.cooldown_ms);
+}
+
+void CircuitBreaker::open(TimePoint now) {
+  state_ = BreakerState::kOpen;
+  probe_in_flight_ = false;
+  opened_at_ = now;
+  ++times_opened_;
+}
+
+bool CircuitBreaker::allow(TimePoint now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const auto cooldown = std::chrono::duration<double, std::milli>(config_.cooldown_ms);
+      if (now - opened_at_ < cooldown) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;  // this caller is the probe
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = BreakerState::kClosed;
+}
+
+void CircuitBreaker::record_failure(TimePoint now) {
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to a full cooldown.
+    open(now);
+  } else if (state_ == BreakerState::kClosed &&
+             consecutive_failures_ >= config_.failure_threshold) {
+    open(now);
+  }
+}
+
+}  // namespace laco::serve

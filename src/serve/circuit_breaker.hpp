@@ -1,0 +1,65 @@
+// Circuit breaker: fail fast when a dependency is persistently broken,
+// probe for recovery after a cooldown. Classic three-state machine:
+//
+//                 N consecutive failures
+//      CLOSED ───────────────────────────▶ OPEN
+//        ▲                                  │ cooldown elapsed
+//        │ probe succeeds                   ▼
+//        └────────────────────────────── HALF-OPEN
+//                                           │ probe fails
+//                                           └──────▶ OPEN (new cooldown)
+//
+// CLOSED admits everything; OPEN rejects everything; HALF-OPEN admits
+// exactly one in-flight probe. The class is passive and externally
+// synchronized (InferenceService holds one per (model set, kind) under
+// its mutex), and takes `now` as a parameter so tests drive the state
+// machine with fake clocks — no hidden wall-clock reads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace laco::serve {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+struct BreakerConfig {
+  int failure_threshold = 5;    ///< consecutive failures that open the breaker
+  double cooldown_ms = 250.0;   ///< open → half-open probe delay
+};
+
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  /// Whether a request may proceed at `now`. An OPEN breaker whose
+  /// cooldown has elapsed transitions to HALF-OPEN and admits the call
+  /// as its single probe; further calls are rejected until the probe
+  /// reports back via record_success / record_failure.
+  bool allow(TimePoint now);
+
+  void record_success();
+  void record_failure(TimePoint now);
+
+  BreakerState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Lifetime count of transitions into OPEN (from CLOSED or HALF-OPEN).
+  std::uint64_t times_opened() const { return times_opened_; }
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  void open(TimePoint now);
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  std::uint64_t times_opened_ = 0;
+  TimePoint opened_at_{};
+};
+
+}  // namespace laco::serve

@@ -1,0 +1,31 @@
+// Typed request-failure errors for the inference service. Every future
+// the service hands out resolves with either a tensor or one of these
+// (or the underlying model error) — never hangs. Clients switch on the
+// type to decide between retrying elsewhere, degrading to an analytic
+// path, or surfacing the failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace laco::serve {
+
+/// The request's deadline passed before a forward pass produced its
+/// result; the input was never (or no longer) worth computing.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The circuit breaker for the target (model set, kind) is open: recent
+/// batches failed consecutively and the service is failing fast instead
+/// of queuing more work onto a broken model. Transient by design —
+/// the breaker half-opens after its cooldown and probes recovery.
+class CircuitOpenError : public TransientError {
+ public:
+  explicit CircuitOpenError(const std::string& what) : TransientError(what) {}
+};
+
+}  // namespace laco::serve

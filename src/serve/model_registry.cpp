@@ -1,6 +1,10 @@
 #include "serve/model_registry.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "laco/model_zoo.hpp"
+#include "util/failpoint.hpp"
 
 namespace laco::serve {
 namespace {
@@ -47,10 +51,22 @@ std::shared_ptr<const LacoModels> ModelRegistry::get(const std::string& dir) {
 
   std::shared_ptr<const LacoModels> shared;
   try {
+    LACO_FAILPOINT("registry.load");
     auto models = std::make_shared<LacoModels>(load_models(dir));
     if (models->congestion) freeze(*models->congestion);
     if (models->lookahead) freeze(*models->lookahead);
     shared = std::move(models);
+  } catch (const std::exception& e) {
+    // Path-qualify the failure (corrupt checkpoint, bad manifest, fault
+    // injection) and deliver it to every waiter before rethrowing; a
+    // rejected load leaves no pending or cached entry behind.
+    const auto wrapped = std::make_exception_ptr(std::runtime_error(
+        "ModelRegistry: failed to load model set from '" + dir + "': " + e.what()));
+    lock.lock();
+    pending_.erase(dir);
+    lock.unlock();
+    promise.set_exception(wrapped);
+    std::rethrow_exception(wrapped);
   } catch (...) {
     lock.lock();
     pending_.erase(dir);

@@ -4,14 +4,49 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "serve/errors.hpp"
+#include "util/check.hpp"
+#include "util/errors.hpp"
 
 namespace laco::serve {
+namespace {
+
+/// splitmix64 finalizer — deterministic jitter stream for retry backoff
+/// (same construction as util/failpoint.cpp; no global RNG, no locks).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ServiceConfig ServiceConfig::validated() const {
+  ServiceConfig v = *this;
+  // Hard invariants: negative durations/counts are caller bugs.
+  LACO_CHECK(v.batcher.max_linger_ms >= 0.0);
+  LACO_CHECK(v.deadline_ms >= 0.0);
+  LACO_CHECK(v.max_retries >= 0);
+  LACO_CHECK(v.retry_backoff_ms >= 0.0);
+  LACO_CHECK(v.retry_backoff_max_ms >= 0.0);
+  // Soft knobs clamp to safe minimums. A zero linger would make the
+  // flusher (which sleeps max_linger_ms / 2 per tick) spin.
+  v.num_threads = std::max(1, v.num_threads);
+  v.queue_capacity = std::max<std::size_t>(1, v.queue_capacity);
+  v.batcher.max_batch = std::max(1, v.batcher.max_batch);
+  v.batcher.max_linger_ms = std::max(kMinLingerMs, v.batcher.max_linger_ms);
+  v.retry_backoff_max_ms = std::max(v.retry_backoff_max_ms, v.retry_backoff_ms);
+  v.latency_reservoir = std::max<std::size_t>(1, v.latency_reservoir);
+  return v;
+}
 
 InferenceService::InferenceService(ServiceConfig config)
-    : config_(config),
-      pool_(config.num_threads, config.queue_capacity),
-      batcher_(config.batcher) {
-  config_.latency_reservoir = std::max<std::size_t>(1, config_.latency_reservoir);
+    : config_(config.validated()),
+      pool_(config_.num_threads, config_.queue_capacity),
+      batcher_(config_.batcher) {
   flusher_ = std::thread([this] { flusher_loop(); });
 }
 
@@ -28,11 +63,17 @@ InferenceService::~InferenceService() {
 
 std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModels> models,
                                                  ModelKind kind, nn::Tensor input) {
+  const auto now = std::chrono::steady_clock::now();
   BatchItem item;
   item.models = std::move(models);
   item.kind = kind;
   item.input = std::move(input);
-  item.enqueue_time = std::chrono::steady_clock::now();
+  item.enqueue_time = now;
+  if (config_.deadline_ms > 0.0) {
+    item.deadline =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(config_.deadline_ms));
+  }
   std::future<nn::Tensor> future = item.result.get_future();
 
   std::optional<Batch> full;
@@ -40,6 +81,20 @@ std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModel
     MutexLock lock(mutex_);
     if (stopping_) throw std::runtime_error("InferenceService::submit after shutdown");
     ++counters_.requests;
+
+    // Breaker gate: a persistently failing (model set, kind) fails fast
+    // instead of queueing doomed work onto the pool.
+    const auto breaker_it = breakers_.find(breaker_key(item.models.get(), kind));
+    if (breaker_it != breakers_.end() && !breaker_it->second.allow(now)) {
+      ++counters_.breaker_rejected;
+      ++counters_.completed;
+      item.result.set_exception(std::make_exception_ptr(CircuitOpenError(
+          std::string("InferenceService: circuit open for ") + to_string(kind) +
+          " model, failing fast (cooldown " +
+          std::to_string(breaker_it->second.config().cooldown_ms) + " ms)")));
+      return future;
+    }
+
     ++counters_.in_flight;
     counters_.max_in_flight = std::max(counters_.max_in_flight, counters_.in_flight);
     full = batcher_.add(std::move(item));
@@ -61,13 +116,65 @@ void InferenceService::enqueue(Batch batch) {
   pool_.submit([this, shared] { execute(std::move(*shared)); });
 }
 
+std::chrono::duration<double, std::milli> InferenceService::backoff_delay(int attempt) {
+  const double base = config_.retry_backoff_ms * std::pow(2.0, attempt);
+  const double capped = std::min(base, config_.retry_backoff_max_ms);
+  // Deterministic jitter in [0.75, 1.25): decorrelates retries of
+  // concurrently failing batches without a shared RNG or lock.
+  const std::uint64_t n = jitter_counter_.fetch_add(1, std::memory_order_relaxed);
+  const double unit =
+      static_cast<double>(mix64(config_.retry_jitter_seed ^ mix64(n)) >> 11) * 0x1.0p-53;
+  return std::chrono::duration<double, std::milli>(capped * (0.75 + 0.5 * unit));
+}
+
 void InferenceService::execute(Batch batch) {
   const std::size_t n = batch.items.size();
   std::vector<std::chrono::steady_clock::time_point> enqueued;
   enqueued.reserve(n);
   for (const BatchItem& item : batch.items) enqueued.push_back(item.enqueue_time);
 
-  run_batch(std::move(batch));
+  // Deadline triage: items already expired fail with a typed error now
+  // instead of burning (a share of) a forward pass.
+  const auto start = std::chrono::steady_clock::now();
+  Batch live;
+  Batch expired;
+  for (BatchItem& item : batch.items) {
+    (item.deadline < start ? expired : live).items.push_back(std::move(item));
+  }
+  if (!expired.items.empty()) {
+    fail_batch(expired, std::make_exception_ptr(DeadlineExceededError(
+                            "InferenceService: request deadline (" +
+                            std::to_string(config_.deadline_ms) +
+                            " ms) expired before execution")));
+  }
+
+  // Retry loop: transient failures back off and re-run the single
+  // forward; permanent errors (and exhausted retries) fail only this
+  // batch's futures. Nothing here can wedge the flusher or the pool.
+  bool attempted = false;
+  bool succeeded = false;
+  std::uint64_t retries_used = 0;
+  if (!live.items.empty()) {
+    attempted = true;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        const nn::Tensor output = forward_batch(live);
+        deliver_batch(live, output);
+        succeeded = true;
+        break;
+      } catch (const TransientError&) {
+        if (attempt >= config_.max_retries) {
+          fail_batch(live, std::current_exception());
+          break;
+        }
+        ++retries_used;
+        std::this_thread::sleep_for(backoff_delay(attempt));
+      } catch (...) {
+        fail_batch(live, std::current_exception());
+        break;
+      }
+    }
+  }
 
   const auto now = std::chrono::steady_clock::now();
   {
@@ -83,6 +190,24 @@ void InferenceService::execute(Batch batch) {
     }
     counters_.completed += n;
     counters_.in_flight -= n;
+    counters_.deadline_expired += expired.items.size();
+    counters_.retried_batches += retries_used;
+    if (attempted) {
+      CircuitBreaker& breaker =
+          breakers_
+              .try_emplace(breaker_key(live.items.front().models.get(),
+                                       live.items.front().kind),
+                           config_.breaker)
+              .first->second;
+      const std::uint64_t opened_before = breaker.times_opened();
+      if (succeeded) {
+        breaker.record_success();
+      } else {
+        ++counters_.failed_batches;
+        breaker.record_failure(now);
+      }
+      counters_.breaker_opens += breaker.times_opened() - opened_before;
+    }
   }
   drained_.notify_all();
 }
@@ -104,10 +229,21 @@ ServiceCounters InferenceService::counters() const {
     MutexLock lock(mutex_);
     c = counters_;
     c.pending = batcher_.pending();
+    c.breakers_open = 0;
+    for (const auto& [key, breaker] : breakers_) {
+      if (breaker.state() != BreakerState::kClosed) ++c.breakers_open;
+    }
   }
   c.pool_queue_depth = pool_.queue_depth();
   c.pool_max_queue_depth = pool_.max_queue_depth();
   return c;
+}
+
+BreakerState InferenceService::breaker_state(const std::shared_ptr<const LacoModels>& models,
+                                             ModelKind kind) const {
+  MutexLock lock(mutex_);
+  const auto it = breakers_.find(breaker_key(models.get(), kind));
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state();
 }
 
 std::vector<double> InferenceService::latency_snapshot_ms() const {
@@ -117,10 +253,11 @@ std::vector<double> InferenceService::latency_snapshot_ms() const {
 
 void InferenceService::flusher_loop() {
   // Microsecond resolution: a sub-millisecond linger must not truncate
-  // to a zero-length (busy) wait.
+  // to a zero-length (busy) wait. validated() already clamps the linger
+  // to kMinLingerMs, so the tick is always a real sleep.
   const auto tick = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::duration<double, std::milli>(
-          std::max(0.1, config_.batcher.max_linger_ms * 0.5)));
+          std::max(ServiceConfig::kMinLingerMs * 0.5, config_.batcher.max_linger_ms * 0.5)));
   for (;;) {
     std::vector<Batch> due;
     bool exit_after_flush = false;

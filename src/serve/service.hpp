@@ -4,14 +4,25 @@
 // a Batcher (size + linger flush policy) and execute on a fixed
 // ThreadPool, one forward pass per batch under NoGradGuard.
 //
-//   submit ──▶ Batcher buckets ──(full / lingered)──▶ ThreadPool
-//                                                       └─▶ run_batch ─▶ futures
+//   submit ──▶ breaker gate ──▶ Batcher buckets ──(full / lingered)──▶ ThreadPool
+//                                                                       └─▶ execute ─▶ futures
 //
 // A flusher thread wakes every max_linger_ms/2 to cut aged partial
 // batches, so a lone request is never stranded. Counters track
 // requests, batches, occupancy, queue depth, and per-request latency
 // (submit → result set); latency percentiles are computed from a
 // bounded reservoir of recent requests.
+//
+// Fault tolerance (docs/RELIABILITY.md): every future resolves — with
+// the result, or with a typed error — never hangs. Per-request
+// deadlines fail expired items with DeadlineExceededError before they
+// burn a forward pass; batches failing with TransientError are retried
+// with exponential backoff and deterministic jitter; and a per-(model
+// set, kind) circuit breaker opens after consecutive batch failures so
+// a persistently broken model fails fast (CircuitOpenError) instead of
+// queueing doomed work, half-opening after a cooldown to probe
+// recovery. A failed batch fails only its own futures; the flusher and
+// pool never inherit the fault.
 //
 // Thread-safety: submit() may be called from any number of threads.
 // Results are independent tensors (no shared autograd state); model
@@ -21,13 +32,17 @@
 // compile time (docs/STATIC_ANALYSIS.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/batcher.hpp"
+#include "serve/circuit_breaker.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -39,6 +54,24 @@ struct ServiceConfig {
   std::size_t queue_capacity = 256; ///< bounded batch queue (backpressure)
   BatcherConfig batcher;
   std::size_t latency_reservoir = 1 << 14;  ///< retained latency samples
+
+  // Reliability knobs (docs/RELIABILITY.md).
+  double deadline_ms = 0.0;        ///< per-request deadline; 0 = none
+  int max_retries = 2;             ///< extra attempts per batch on TransientError
+  double retry_backoff_ms = 0.5;   ///< first backoff; doubles per attempt
+  double retry_backoff_max_ms = 20.0;  ///< backoff growth cap
+  std::uint64_t retry_jitter_seed = 0x1ac0;  ///< deterministic backoff jitter
+  BreakerConfig breaker;           ///< per-(model set, kind) circuit breaker
+
+  /// Smallest accepted linger: the flusher wakes every max_linger_ms/2,
+  /// so a zero linger would degenerate into a busy loop.
+  static constexpr double kMinLingerMs = 0.05;
+
+  /// LACO_CHECKs hard invariants (non-negative durations and counts are
+  /// caller bugs, not runtime conditions) and clamps soft knobs (pool
+  /// size, batch size, linger) to safe minimums. The service ctor
+  /// stores the validated copy.
+  ServiceConfig validated() const;
 };
 
 struct ServiceCounters {
@@ -51,6 +84,15 @@ struct ServiceCounters {
   std::size_t max_in_flight = 0;
   std::size_t pool_queue_depth = 0;
   std::size_t pool_max_queue_depth = 0;
+
+  // Fault-tolerance counters.
+  std::uint64_t retried_batches = 0;   ///< batch re-executions after a transient failure
+  std::uint64_t failed_batches = 0;    ///< batches whose live items received an error
+  std::uint64_t deadline_expired = 0;  ///< requests failed with DeadlineExceededError
+  std::uint64_t breaker_rejected = 0;  ///< requests failed fast with CircuitOpenError
+  std::uint64_t breaker_opens = 0;     ///< breaker transitions into the open state
+  std::size_t breakers_open = 0;       ///< breakers currently open or half-open
+
   double mean_batch_size() const {
     return batches == 0 ? 0.0 : static_cast<double>(batched_items) / static_cast<double>(batches);
   }
@@ -68,7 +110,8 @@ class InferenceService {
   /// Enqueues one inference request. `input` must be [1, C, H, W] with
   /// the channel count the target network expects; the tensor is taken
   /// by value and must not be mutated by the caller afterwards. The
-  /// future yields the [1, C_out, H, W] output or the batch's error.
+  /// future yields the [1, C_out, H, W] output or a typed error
+  /// (serve/errors.hpp) — it always resolves, even under faults.
   std::future<nn::Tensor> submit(std::shared_ptr<const LacoModels> models, ModelKind kind,
                                  nn::Tensor input) LACO_EXCLUDES(mutex_);
 
@@ -77,6 +120,11 @@ class InferenceService {
 
   ServiceCounters counters() const LACO_EXCLUDES(mutex_);
 
+  /// Breaker state for one (model set, kind); kClosed when no request
+  /// for that pair has ever failed (no breaker allocated yet).
+  BreakerState breaker_state(const std::shared_ptr<const LacoModels>& models,
+                             ModelKind kind) const LACO_EXCLUDES(mutex_);
+
   /// Latency (ms, submit → result) of up to `latency_reservoir` recent
   /// requests, unordered. Use `percentile` for p50/p99.
   std::vector<double> latency_snapshot_ms() const LACO_EXCLUDES(mutex_);
@@ -84,11 +132,20 @@ class InferenceService {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  /// Breakers key on the same identity the batcher buckets on: the
+  /// model-set address (stable via shared_ptr) plus the network kind.
+  using BreakerKey = std::pair<const void*, int>;
+  static BreakerKey breaker_key(const LacoModels* models, ModelKind kind) {
+    return {models, static_cast<int>(kind)};
+  }
+
   /// Counts the batch and hands it to the pool. Callers must NOT hold
   /// mutex_: the pool's bounded queue blocks, and workers take mutex_.
   void enqueue(Batch batch) LACO_EXCLUDES(mutex_);
   void execute(Batch batch) LACO_EXCLUDES(mutex_);
   void flusher_loop() LACO_EXCLUDES(mutex_);
+  /// Exponential backoff with deterministic jitter for retry `attempt`.
+  std::chrono::duration<double, std::milli> backoff_delay(int attempt);
 
   ServiceConfig config_;
   ThreadPool pool_;
@@ -96,9 +153,11 @@ class InferenceService {
   CondVar drained_;
   Batcher batcher_ LACO_GUARDED_BY(mutex_);
   ServiceCounters counters_ LACO_GUARDED_BY(mutex_);
+  std::map<BreakerKey, CircuitBreaker> breakers_ LACO_GUARDED_BY(mutex_);
   std::vector<double> latencies_ms_ LACO_GUARDED_BY(mutex_);
   std::size_t latency_next_ LACO_GUARDED_BY(mutex_) = 0;  ///< reservoir write cursor
   bool stopping_ LACO_GUARDED_BY(mutex_) = false;
+  std::atomic<std::uint64_t> jitter_counter_{0};  ///< backoff jitter stream position
   CondVar flusher_wakeup_;
   std::thread flusher_;
 };

@@ -1,11 +1,17 @@
 #include "train/snapshot.hpp"
 
+#include "util/check.hpp"
+
 namespace laco {
 
 SnapshotCollector::SnapshotCollector(const SnapshotConfig& config)
     : config_(config),
       extractor_(config.features),
-      lo_extractor_(config.lookahead_features) {}
+      lo_extractor_(config.lookahead_features) {
+  // A zero spacing would make the `iteration % spacing` gate below a
+  // divide-by-zero (SIGFPE); fail loudly at construction instead.
+  LACO_CHECK(config_.spacing >= 1);
+}
 
 void SnapshotCollector::operator()(const Design& design, const IterationStats& stats) {
   if (stats.iteration % config_.spacing != 0) return;

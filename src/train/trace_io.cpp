@@ -1,6 +1,7 @@
 #include "train/trace_io.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -101,10 +102,25 @@ void save_traces(const std::vector<PlacementTrace>& traces, std::ostream& out) {
 }
 
 bool save_traces_file(const std::vector<PlacementTrace>& traces, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  save_traces(traces, out);
-  return static_cast<bool>(out);
+  // Atomic publish, same contract as nn::save_parameters_file: the
+  // trace cache (laco/pipeline.cpp) must never read a half-written file
+  // after a crash mid-collection.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    save_traces(traces, out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::vector<PlacementTrace> load_traces(std::istream& in) {

@@ -1,0 +1,23 @@
+// Error taxonomy shared by the fault-tolerance layer. The distinction
+// that matters operationally is transient vs. permanent: a transient
+// failure (injected fault, interrupted I/O, overloaded dependency) may
+// succeed on retry, while a permanent one (shape mismatch, missing
+// model) never will. Retry policies (serve::InferenceService) and the
+// placer's degradation path key on these types rather than parsing
+// message strings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace laco {
+
+/// A failure that retrying the same operation may resolve. Throw this
+/// (or a subclass) from any operation whose failure is not a caller
+/// bug; std::runtime_error siblings are treated as permanent.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace laco

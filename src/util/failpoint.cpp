@@ -1,0 +1,173 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace laco {
+namespace {
+
+/// splitmix64 — one multiply-xor-shift round per call; the standard
+/// seedable mixer. Purely functional, so the fire decision for
+/// evaluation n is reproducible from (seed, n) alone.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform in [0, 1) from (seed, counter).
+double unit_hash(std::uint64_t seed, std::uint64_t counter) {
+  const std::uint64_t h = mix64(seed ^ mix64(counter));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FailpointMode parse_mode(const std::string& token) {
+  if (token == "off") return FailpointMode::kOff;
+  if (token == "error") return FailpointMode::kError;
+  if (token == "delay") return FailpointMode::kDelay;
+  if (token == "crash") return FailpointMode::kCrash;
+  throw std::invalid_argument("failpoint spec: unknown mode '" + token + "'");
+}
+
+}  // namespace
+
+const char* to_string(FailpointMode mode) {
+  switch (mode) {
+    case FailpointMode::kOff: return "off";
+    case FailpointMode::kError: return "error";
+    case FailpointMode::kDelay: return "delay";
+    case FailpointMode::kCrash: return "crash";
+  }
+  return "?";
+}
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+void FailpointRegistry::arm(const std::string& name, FailpointSpec spec) {
+  if (spec.probability < 0.0 || spec.probability > 1.0) {
+    throw std::invalid_argument("FailpointRegistry::arm: probability must be in [0, 1]");
+  }
+  MutexLock lock(mutex_);
+  Point& point = points_[name];
+  point.spec = spec;
+  point.stats = FailpointStats{};  // arming restarts the deterministic sequence
+}
+
+void FailpointRegistry::disarm(const std::string& name) {
+  MutexLock lock(mutex_);
+  points_.erase(name);
+}
+
+void FailpointRegistry::disarm_all() {
+  MutexLock lock(mutex_);
+  points_.clear();
+}
+
+void FailpointRegistry::evaluate(const char* name) {
+  FailpointMode action = FailpointMode::kOff;
+  double delay_ms = 0.0;
+  {
+    MutexLock lock(mutex_);
+    const auto it = points_.find(name);
+    if (it == points_.end() || it->second.spec.mode == FailpointMode::kOff) return;
+    Point& point = it->second;
+    const std::uint64_t n = point.stats.evaluations++;
+    if (unit_hash(point.spec.seed, n) >= point.spec.probability) return;
+    ++point.stats.fires;
+    action = point.spec.mode;
+    delay_ms = point.spec.delay_ms;
+  }
+  // Act outside the lock: sleeping or unwinding while holding the
+  // registry mutex would serialize every other hook site behind us.
+  switch (action) {
+    case FailpointMode::kOff:
+      return;
+    case FailpointMode::kError:
+      throw FailpointError(name);
+    case FailpointMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+      return;
+    case FailpointMode::kCrash:
+      // Mirrors the LACO_CHECK failure path: report without allocating,
+      // then die hard — chaos drills want a real crash, not an unwind.
+      std::fprintf(stderr, "LACO_FAILPOINT '%s' fired in crash mode\n", name);
+      std::fflush(stderr);
+      std::abort();
+  }
+}
+
+FailpointStats FailpointRegistry::stats(const std::string& name) const {
+  MutexLock lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? FailpointStats{} : it->second.stats;
+}
+
+std::vector<std::string> FailpointRegistry::armed() const {
+  MutexLock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    if (point.spec.mode != FailpointMode::kOff) names.push_back(name);
+  }
+  return names;
+}
+
+int FailpointRegistry::configure_from_spec(const std::string& spec) {
+  int armed_count = 0;
+  std::string::size_type pos = 0;
+  while (pos < spec.size()) {
+    auto end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint spec: expected name=mode in '" + entry + "'");
+    }
+    const std::string name = entry.substr(0, eq);
+    std::vector<std::string> fields;
+    std::string::size_type fpos = eq + 1;
+    while (fpos <= entry.size()) {
+      auto colon = entry.find(':', fpos);
+      if (colon == std::string::npos) colon = entry.size();
+      fields.push_back(entry.substr(fpos, colon - fpos));
+      fpos = colon + 1;
+    }
+    if (fields.empty() || fields[0].empty()) {
+      throw std::invalid_argument("failpoint spec: missing mode in '" + entry + "'");
+    }
+    FailpointSpec parsed;
+    try {
+      parsed.mode = parse_mode(fields[0]);
+      if (fields.size() > 1 && !fields[1].empty()) parsed.probability = std::stod(fields[1]);
+      if (fields.size() > 2 && !fields[2].empty()) {
+        parsed.seed = static_cast<std::uint64_t>(std::stoull(fields[2]));
+      }
+      if (fields.size() > 3 && !fields[3].empty()) parsed.delay_ms = std::stod(fields[3]);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("failpoint spec: malformed entry '" + entry + "'");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("failpoint spec: value out of range in '" + entry + "'");
+    }
+    arm(name, parsed);
+    ++armed_count;
+  }
+  return armed_count;
+}
+
+int FailpointRegistry::configure_from_env() {
+  const char* spec = std::getenv("LACO_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return 0;
+  return configure_from_spec(spec);
+}
+
+}  // namespace laco

@@ -1,0 +1,30 @@
+// Fixture for the catch-swallow rule: exactly one violating handler.
+#include <exception>
+
+void risky();
+void fail_batch(std::exception_ptr);
+
+int swallowing() {
+  try {
+    risky();
+  } catch (...) {
+    return -1;  // fault erased: no rethrow, no log, no forwarding
+  }
+  return 0;
+}
+
+void rethrowing() {
+  try {
+    risky();
+  } catch (...) {
+    throw;
+  }
+}
+
+void forwarding() {
+  try {
+    risky();
+  } catch (...) {
+    fail_batch(std::current_exception());
+  }
+}

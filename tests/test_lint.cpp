@@ -92,6 +92,18 @@ TEST(LintRules, ForwardOutsideNoGradGuard) {
   EXPECT_TRUE(diags("nograd_missing.cpp", "src/laco/nograd_missing.cpp").empty());
 }
 
+TEST(LintRules, CatchSwallowInFaultHandlingLayers) {
+  const std::vector<std::string> expected = {
+      "src/serve/catch_swallow.cpp:10: [catch-swallow] catch (...) in src/serve//src/laco must "
+      "rethrow, log (LACO_LOG_*), or forward the exception (set_exception/fail_batch); "
+      "swallowed faults defeat the reliability layer"};
+  EXPECT_EQ(diags("catch_swallow.cpp", "src/serve/catch_swallow.cpp"), expected);
+  // src/laco is the other fault-handling layer; elsewhere out of scope.
+  EXPECT_EQ(diags("catch_swallow.cpp", "src/laco/catch_swallow.cpp").size(), 1u);
+  EXPECT_TRUE(diags("catch_swallow.cpp", "src/placer/catch_swallow.cpp").empty());
+  EXPECT_TRUE(diags("catch_swallow.cpp", "tools/catch_swallow.cpp").empty());
+}
+
 TEST(LintRules, CleanFileHasNoDiagnostics) {
   EXPECT_TRUE(diags("clean.hpp", "src/fixture/clean.hpp").empty());
 }

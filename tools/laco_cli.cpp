@@ -27,7 +27,21 @@
 //       prints a throughput / latency / batching report against the
 //       single-threaded unbatched baseline. Without --models a random
 //       demo model set is used (throughput only, no trained weights).
+//
+//   laco serve --chaos RATE [--requests R] [--clients C] [--retries N]
+//              [--seed K] [...]
+//       Chaos drill (docs/RELIABILITY.md): drives the service while
+//       injecting faults — the "serve.forward" failpoint at probability
+//       RATE when built with -DLACO_FAILPOINTS=ON, plus a RATE fraction
+//       of requests aimed at a deliberately broken model set in every
+//       build — and reports SLO stats. Exit 0 iff every request
+//       completed (result or clean typed error; no hung futures).
+//
+// The LACO_FAILPOINTS environment variable arms failpoints in any
+// subcommand, e.g. LACO_FAILPOINTS=registry.load=error laco place ...
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <future>
@@ -45,8 +59,11 @@
 #include "netlist/design_stats.hpp"
 #include "netlist/ispd2015_suite.hpp"
 #include "netlist/svg_plot.hpp"
+#include "serve/errors.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/service.hpp"
+#include "util/errors.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -263,7 +280,136 @@ std::shared_ptr<const LacoModels> demo_models(bool with_lookahead) {
   return m;
 }
 
+/// `laco serve --chaos RATE`: drive the service under injected faults
+/// and report SLO stats. The pass criterion is total completion: every
+/// submitted request resolves with a tensor or a clean typed error
+/// within the wait budget — a single hung future fails the drill.
+int run_chaos(const Args& args, double rate) {
+  serve::ServiceConfig sc;
+  sc.num_threads = args.get_int("threads", 4);
+  sc.batcher.max_batch = args.get_int("batch", 4);
+  sc.batcher.max_linger_ms = args.get_double("linger", 1.0);
+  sc.deadline_ms = args.get_double("deadline", 0.0);
+  sc.max_retries = args.get_int("retries", 1);
+  sc.retry_backoff_ms = 0.2;
+  sc.breaker.failure_threshold = args.get_int("breaker-threshold", 4);
+  sc.breaker.cooldown_ms = args.get_double("breaker-cooldown", 5.0);
+  const int requests = args.get_int("requests", 256);
+  const int clients = std::max(1, args.get_int("clients", 4));
+  const int grid = args.get_int("grid", 16);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x1ac0));
+
+  const auto models = demo_models(false);
+  // Natural fault injection that works in every build: a model set
+  // whose f expects one channel more than the requests carry, so every
+  // batch against it throws a (permanent) shape error. Its consecutive
+  // failures also walk the circuit breaker through open/half-open.
+  auto broken = std::make_shared<LacoModels>();
+  broken->scheme = LacoScheme::kDreamCong;
+  CongestionFcnConfig bc;
+  bc.in_channels = models->congestion->config().in_channels + 1;
+  broken->congestion = std::make_shared<CongestionFcn>(bc);
+  for (nn::Tensor p : broken->congestion->parameters()) p.set_requires_grad(false);
+
+  if (failpoints_compiled_in()) {
+    FailpointSpec spec;
+    spec.mode = FailpointMode::kError;
+    spec.probability = rate;
+    spec.seed = seed;
+    FailpointRegistry::instance().arm("serve.forward", spec);
+    std::cout << "chaos: armed failpoint serve.forward (error, p=" << rate << ", seed " << seed
+              << ")\n";
+  } else {
+    std::cout << "chaos: failpoint hooks compiled out (build with -DLACO_FAILPOINTS=ON); "
+                 "using broken-model injection only\n";
+  }
+  // Every stride-th request targets the broken set — roughly a `rate`
+  // fraction, deterministic across runs.
+  const int stride =
+      std::max(2, static_cast<int>(std::lround(1.0 / std::clamp(rate, 0.02, 0.5))));
+
+  const int channels = models->congestion->config().in_channels;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> uniform(0.0f, 1.0f);
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  for (int r = 0; r < requests; ++r) {
+    nn::Tensor t = nn::Tensor::zeros({1, channels, grid, grid});
+    for (float& v : t.data()) v = uniform(rng);
+    inputs.push_back(std::move(t));
+  }
+
+  std::atomic<int> ok{0}, transient{0}, deadline{0}, permanent{0}, hung{0};
+  serve::ServiceCounters counters;
+  std::vector<double> latencies;
+  double wall_s = 0.0;
+  {
+    serve::InferenceService service(sc);
+    Timer timer;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::future<nn::Tensor>> futures;
+        for (std::size_t i = static_cast<std::size_t>(c); i < inputs.size();
+             i += static_cast<std::size_t>(clients)) {
+          const auto& target = (i % static_cast<std::size_t>(stride) == 0) ? broken : models;
+          futures.push_back(service.submit(target, serve::ModelKind::kCongestion, inputs[i]));
+        }
+        for (auto& f : futures) {
+          // The service contract says every future resolves; the wait
+          // budget turns a violation into a counted failure instead of
+          // a wedged drill.
+          if (f.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+            ++hung;
+            continue;
+          }
+          try {
+            f.get();
+            ++ok;
+          } catch (const serve::DeadlineExceededError&) {
+            ++deadline;
+          } catch (const TransientError&) {
+            ++transient;  // injected faults, exhausted retries, open breaker
+          } catch (const std::exception&) {
+            ++permanent;  // broken-model shape errors
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    wall_s = timer.seconds();
+    service.drain();
+    counters = service.counters();
+    latencies = service.latency_snapshot_ms();
+  }
+  if (failpoints_compiled_in()) {
+    const FailpointStats fp = FailpointRegistry::instance().stats("serve.forward");
+    FailpointRegistry::instance().disarm("serve.forward");
+    std::cout << "chaos: serve.forward fired " << fp.fires << "/" << fp.evaluations
+              << " evaluations\n";
+  }
+
+  const int resolved = ok + transient + deadline + permanent;
+  const double completion = 100.0 * resolved / std::max(1, requests);
+  std::cout << "chaos SLO: " << requests << " requests in " << wall_s << "s, " << completion
+            << "% completed (" << ok << " ok, " << transient << " transient, " << deadline
+            << " deadline, " << permanent << " permanent, " << hung << " hung)\n"
+            << "service: " << counters.batches << " batches, " << counters.retried_batches
+            << " retried, " << counters.failed_batches << " failed, "
+            << counters.deadline_expired << " expired, " << counters.breaker_rejected
+            << " breaker-rejected, " << counters.breaker_opens << " breaker opens\n"
+            << "latency ms: p50 " << serve::percentile(latencies, 50.0) << ", p99 "
+            << serve::percentile(latencies, 99.0) << '\n';
+  const bool pass = hung == 0 && resolved == requests;
+  std::cout << (pass ? "chaos PASS: every request completed cleanly\n"
+                     : "chaos FAIL: some requests never resolved\n");
+  return pass ? 0 : 1;
+}
+
 int cmd_serve(const Args& args) {
+  const double chaos = args.get_double("chaos", 0.0);
+  if (chaos > 0.0) return run_chaos(args, chaos);
+
   serve::ServiceConfig sc;
   sc.num_threads = args.get_int("threads", 4);
   sc.batcher.max_batch = args.get_int("batch", 8);
@@ -380,6 +526,13 @@ int cmd_serve(const Args& args) {
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
+  try {
+    const int armed = FailpointRegistry::instance().configure_from_env();
+    if (armed > 0) std::cerr << "laco: " << armed << " failpoint(s) armed from env\n";
+  } catch (const std::exception& e) {
+    std::cerr << "laco: bad LACO_FAILPOINTS spec: " << e.what() << '\n';
+    return 2;
+  }
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);

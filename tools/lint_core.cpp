@@ -60,6 +60,12 @@ std::vector<std::string> split_lines(const std::string& text) {
 bool in_src(const std::string& p) { return starts_with(p, "src/"); }
 bool in_tests(const std::string& p) { return starts_with(p, "tests/"); }
 bool in_serve_source(const std::string& p) { return starts_with(p, "src/serve/") && is_source(p); }
+// Fault-handling layers (docs/RELIABILITY.md): the serving stack and
+// the placement flow, where a silently swallowed exception turns into
+// a hung future or a placement that skips its penalty without a trace.
+bool in_fault_scope(const std::string& p) {
+  return starts_with(p, "src/serve/") || starts_with(p, "src/laco/");
+}
 
 bool iostream_exempt(const std::string& p) {
   // util/logging owns the terminal; tools and bench are end-user
@@ -113,6 +119,10 @@ const std::regex& mutex_member_re() {
 }
 const std::regex& forward_call_re() {
   static const std::regex re("(->|\\.)\\s*forward\\s*\\(");
+  return re;
+}
+const std::regex& catch_all_re() {
+  static const std::regex re("(^|[^A-Za-z0-9_])ca" "tch\\s*\\(\\s*\\.\\.\\.\\s*\\)");
   return re;
 }
 
@@ -202,6 +212,53 @@ void check_nograd_forward(const std::vector<std::string>& lines, const std::stri
       if (c == '}') --depth;
     }
     while (!guard_depths.empty() && depth < guard_depths.back()) guard_depths.pop_back();
+  }
+}
+
+/// Brace-matched scan over the stripped text: a `catch (...)` in the
+/// fault-handling layers must visibly do something with the exception —
+/// rethrow, log, or forward it into a promise/batch — or it swallows a
+/// fault the reliability machinery (retries, breakers, degradation)
+/// exists to surface. Runs on stripped text, so a marker inside a
+/// comment or string does not satisfy the rule.
+void check_catch_swallow(const std::string& stripped, const std::string& relpath,
+                         std::vector<Diagnostic>& out) {
+  if (!in_fault_scope(relpath)) return;
+  static const char* const kHandlingMarkers[] = {
+      "throw",              // rethrow / throw-new / std::rethrow_exception
+      "LACO_LOG_",          // at minimum, the fault leaves a trace
+      "set_exception",      // forwarded into a promise
+      "fail_batch",         // forwarded into a batch's promises
+      "current_exception",  // captured for later propagation
+      "abort",              // deliberate crash is not a swallow
+  };
+  const auto end = std::sregex_iterator();
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), catch_all_re());
+       it != end; ++it) {
+    const std::size_t match_pos = static_cast<std::size_t>(it->position(0));
+    const std::size_t open = stripped.find('{', match_pos + static_cast<std::size_t>(it->length(0)));
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < stripped.size(); ++close) {
+      if (stripped[close] == '{') ++depth;
+      if (stripped[close] == '}' && --depth == 0) break;
+    }
+    const std::string block = stripped.substr(open, close - open + 1);
+    const bool handled = std::any_of(std::begin(kHandlingMarkers), std::end(kHandlingMarkers),
+                                     [&block](const char* marker) {
+                                       return block.find(marker) != std::string::npos;
+                                     });
+    if (handled) continue;
+    // Group 1 is the non-identifier prefix (possibly a newline): count
+    // lines up to the keyword itself, not the character before it.
+    const std::size_t keyword_pos = match_pos + static_cast<std::size_t>((*it)[1].length());
+    const int lineno = 1 + static_cast<int>(std::count(
+                               stripped.begin(),
+                               stripped.begin() + static_cast<std::ptrdiff_t>(keyword_pos), '\n'));
+    add(out, relpath, lineno, "catch-swallow",
+        "catch (...) in src/serve//src/laco must rethrow, log (LACO_LOG_*), or forward the "
+        "exception (set_exception/fail_batch); swallowed faults defeat the reliability layer");
   }
 }
 
@@ -308,6 +365,7 @@ std::vector<Diagnostic> lint_file(const fs::path& file, const std::string& relpa
   check_line_rules(lines, relpath, out);
   check_mutex_guarded(lines, stripped, relpath, out);
   check_nograd_forward(lines, relpath, out);
+  check_catch_swallow(stripped, relpath, out);
   std::stable_sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     return a.line < b.line;
   });
