@@ -6,6 +6,7 @@
 // than feature gathering (cells only vs all nets).
 #include "bench_common.hpp"
 #include "laco/laco_placer.hpp"
+#include "obs/bench_report.hpp"
 
 using namespace laco;
 
@@ -35,15 +36,34 @@ int main() {
   }
   std::cout << '\n';
 
+  obs::BenchReporter report("runtime");
+  report.set_setting("scale", s.scale);
+  report.set_setting("designs", static_cast<int>(designs.size()));
+
   Table table({"phase", "seconds", "share"});
+  double total_s = 0.0;
   for (const auto& [phase, seconds, frac] : total.table()) {
     table.add_row({phase, Table::fmt(seconds, 3), Table::fmt(frac * 100.0, 1) + "%"});
+    obs::Json row = obs::Json::object();
+    row["phase"] = phase;
+    row["seconds"] = seconds;
+    row["share"] = frac;
+    report.add_row("phases", std::move(row));
+    total_s += seconds;
   }
   std::cout << table.to_string();
   table.write_csv("fig8_runtime.csv");
 
   const double flow = total.seconds("cell flow");
   const double gather = total.seconds("feature gathering");
+  report.set_metric("total_s", total_s);
+  report.set_metric("cell_flow_s", flow);
+  report.set_metric("feature_gathering_s", gather);
+  if (!report.write()) {
+    std::cout << "WARNING: cannot write BENCH_runtime.json\n";
+  } else {
+    std::cout << "wrote BENCH_runtime.json\n";
+  }
   std::cout << "\nshape check (paper Fig. 8): cell flow ("
             << Table::fmt(flow, 3) << "s) should cost well below feature gathering ("
             << Table::fmt(gather, 3) << "s); the look-ahead model adds modest overhead "

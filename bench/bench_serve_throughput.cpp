@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "models/congestion_fcn.hpp"
+#include "obs/bench_report.hpp"
 #include "serve/service.hpp"
 
 namespace laco::bench {
@@ -116,23 +117,50 @@ int main() {
   std::cout << "baseline (1 thread, batch 1, no service): " << Table::fmt(baseline_rps, 1)
             << " req/s\n\n";
 
+  obs::BenchReporter report("serve");
+  report.set_setting("requests", requests);
+  report.set_setting("grid", grid);
+  report.set_setting("clients", clients);
+  report.set_setting("hw_threads",
+                     static_cast<int>(std::thread::hardware_concurrency()));
+  report.set_metric("baseline_rps", baseline_rps);
+
   Table table({"threads", "max_batch", "req_per_s", "speedup", "p50_ms", "p99_ms",
                "mean_batch", "max_abs_err"});
   bool exact = true;
+  double best_rps = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     for (const int max_batch : {1, 4, 8}) {
       const SweepResult r = run_sweep(models, inputs, expected, threads, max_batch, clients);
       exact = exact && r.max_err == 0.0;
+      best_rps = std::max(best_rps, r.rps);
       table.add_row({std::to_string(threads), std::to_string(max_batch), Table::fmt(r.rps, 1),
                      Table::fmt(r.rps / baseline_rps, 2), Table::fmt(r.p50, 2),
                      Table::fmt(r.p99, 2), Table::fmt(r.mean_batch, 2),
                      Table::fmt(r.max_err, 9)});
+      obs::Json row = obs::Json::object();
+      row["threads"] = threads;
+      row["max_batch"] = max_batch;
+      row["req_per_s"] = r.rps;
+      row["speedup"] = r.rps / baseline_rps;
+      row["p50_ms"] = r.p50;
+      row["p99_ms"] = r.p99;
+      row["mean_batch"] = r.mean_batch;
+      row["max_abs_err"] = r.max_err;
+      report.add_row("sweep", std::move(row));
     }
   }
   std::cout << table.to_string() << '\n'
             << (exact ? "batched outputs are bitwise-identical to sequential ones\n"
                       : "WARNING: batched outputs deviate from sequential ones\n");
   table.write_csv("serve_throughput.csv");
-  std::cout << "wrote serve_throughput.csv\n";
+  report.set_metric("best_rps", best_rps);
+  report.set_metric("best_speedup", best_rps / baseline_rps);
+  report.set_metric("exact_outputs", exact ? 1.0 : 0.0);
+  if (!report.write()) {
+    std::cout << "WARNING: cannot write BENCH_serve.json\n";
+    return 1;
+  }
+  std::cout << "wrote serve_throughput.csv and BENCH_serve.json\n";
   return exact ? 0 : 1;
 }

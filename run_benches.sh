@@ -15,4 +15,6 @@ bench_serve_throughput bench_kernels"
     "build/bench/$name"
   done
 } > bench_output.txt 2>&1
+echo "machine-readable reports (laco-bench schema, docs/OBSERVABILITY.md):"
+ls -1 BENCH_*.json 2>/dev/null || echo "  (none written)"
 echo DONE > /tmp/bench_sweep_done

@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 #include <stdexcept>
 
 #include "nn/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace laco {
 namespace {
+
+/// Registry mirror of one PenaltyStats field. The lookup takes the
+/// registry lock, but the penalty runs once per apply_every placement
+/// iterations — far off any hot path.
+obs::Counter& penalty_counter(const char* field) {
+  return obs::MetricRegistry::global().counter(std::string("laco.penalty.") + field);
+}
 
 void freeze(nn::Module& module) {
   // Conditional write: model sets handed out by serve::ModelRegistry
@@ -79,13 +87,11 @@ FeatureFrame CongestionPenalty::compute_frame(const Design& design,
                                               int iteration) const {
   FeatureFrame frame;
   {
-    std::optional<ScopedPhase> phase;
-    if (breakdown_) phase.emplace(*breakdown_, "feature gathering");
+    obs::PhaseSpan phase(breakdown_, "feature gathering");
     frame = extractor.compute(design, nullptr, nullptr, iteration);
   }
   if (extractor.config().with_flow && px != nullptr && py != nullptr) {
-    std::optional<ScopedPhase> phase;
-    if (breakdown_) phase.emplace(*breakdown_, "cell flow");
+    obs::PhaseSpan phase(breakdown_, "cell flow");
     CellFlow flow = compute_cell_flow(design, *px, *py, extractor.config().nx,
                                       extractor.config().ny, extractor.config().scheme);
     frame.flow_x = std::move(flow.flow_x);
@@ -123,8 +129,7 @@ nn::Tensor CongestionPenalty::build_input(const Design& design, nn::Tensor& hi_i
 
   nn::Tensor prediction;
   {
-    std::optional<ScopedPhase> phase;
-    if (breakdown_) phase.emplace(*breakdown_, "look-ahead model");
+    obs::PhaseSpan phase(breakdown_, "look-ahead model");
     prediction = models_.lookahead->forward(g_in).prediction;
   }
   if (!traits_.f_uses_flow && nc_g > 3) {
@@ -152,6 +157,8 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
   if (traits_.uses_lookahead && !history_.ready()) return 0.0;
 
   ++stats_.applications;
+  penalty_counter("applications").add(1);
+  obs::TraceSpan span("laco.penalty", "laco");
   std::vector<double> pen_gx(design.num_movable(), 0.0);
   std::vector<double> pen_gy(design.num_movable(), 0.0);
 
@@ -170,9 +177,11 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
       loss = learned_penalty(design, pen_gx, pen_gy);
       have_loss = true;
       ++stats_.learned_applications;
+      penalty_counter("learned_applications").add(1);
       consecutive_failures_ = 0;
     } catch (const std::exception& e) {
       ++stats_.learned_failures;
+      penalty_counter("learned_failures").add(1);
       ++consecutive_failures_;
       LACO_LOG_WARN << "CongestionPenalty: learned penalty failed at iteration " << iteration
                     << " (" << e.what() << "); using analytic RUDY fallback";
@@ -180,6 +189,7 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
         degraded_remaining_ = std::max(1, config_.reprobe_after);
         consecutive_failures_ = 0;
         ++stats_.degradations;
+        penalty_counter("degradations").add(1);
         LACO_LOG_WARN << "CongestionPenalty: " << config_.degrade_threshold
                       << " consecutive failures; degrading to analytic penalty for "
                       << degraded_remaining_ << " applications before re-probing";
@@ -191,6 +201,7 @@ double CongestionPenalty::operator()(const Design& design, int iteration,
   }
   if (!have_loss) {
     ++stats_.analytic_fallbacks;
+    penalty_counter("analytic_fallbacks").add(1);
     loss = analytic_penalty(design, pen_gx, pen_gy);
   }
   add_scaled(design, pen_gx, pen_gy, grad_x, grad_y);
@@ -205,14 +216,12 @@ double CongestionPenalty::learned_penalty(const Design& design, std::vector<doub
 
   nn::Tensor penalty;
   {
-    std::optional<ScopedPhase> phase;
-    if (breakdown_) phase.emplace(*breakdown_, "congestion model");
+    obs::PhaseSpan phase(breakdown_, "congestion model");
     // Eq. (9)/(10): mean squared congestion prediction.
     penalty = nn::mean_square(models_.congestion->forward(f_in));
   }
   {
-    std::optional<ScopedPhase> phase;
-    if (breakdown_) phase.emplace(*breakdown_, "penalty backward");
+    obs::PhaseSpan phase(breakdown_, "penalty backward");
     penalty.backward();
   }
 
@@ -239,44 +248,48 @@ double CongestionPenalty::learned_penalty(const Design& design, std::vector<doub
     }
   };
   {
-    std::optional<ScopedPhase> phase;
-    if (breakdown_) phase.emplace(*breakdown_, "penalty backward");
+    obs::PhaseSpan phase(breakdown_, "penalty backward");
     accumulate(hi_input, hi_extractor_, models_.scale_hi);
     if (traits_.uses_lookahead) accumulate(lo_input, lo_extractor_, models_.scale_lo);
   }
   return penalty.item();
 }
 
-double CongestionPenalty::analytic_penalty(const Design& design, std::vector<double>& pen_gx,
-                                           std::vector<double>& pen_gy) {
-  std::optional<ScopedPhase> phase;
-  if (breakdown_) phase.emplace(*breakdown_, "analytic fallback");
-
-  // L = (1/MN) Σ (s·rudy)² at the congestion resolution — the same loss
+double analytic_rudy_penalty(const Design& design, const FeatureExtractor& extractor,
+                             double rudy_scale, std::vector<double>& pen_gx,
+                             std::vector<double>& pen_gy) {
+  // L = (1/MN) Σ (s·rudy)² at the extractor's resolution — the same loss
   // shape as Eq. (12) with the identity model in place of f∘g, so the
   // η-normalized gradient keeps pushing cells out of RUDY hot spots even
   // with no usable network. dL/d rudy_i = 2 s² rudy_i / MN chains
   // through the exact RUDY backward.
-  const FeatureFrame frame = compute_frame(design, hi_extractor_, nullptr, nullptr, 0);
-  const double s = static_cast<double>(models_.scale_hi.scale[0]);
+  const FeatureFrame frame = extractor.compute(design, nullptr, nullptr, 0);
+  const double s = rudy_scale;
   const double inv_size = 1.0 / static_cast<double>(frame.rudy.size());
   double loss = 0.0;
-  GridMap d_rudy(hi_extractor_.config().nx, hi_extractor_.config().ny, design.core(), 0.0);
+  GridMap d_rudy(extractor.config().nx, extractor.config().ny, design.core(), 0.0);
   for (std::size_t i = 0; i < frame.rudy.size(); ++i) {
     const double r = s * frame.rudy[i];
     loss += r * r * inv_size;
     d_rudy[i] = 2.0 * s * s * frame.rudy[i] * inv_size;
   }
 
-  const GridMap zero(hi_extractor_.config().nx, hi_extractor_.config().ny, design.core(), 0.0);
+  const GridMap zero(extractor.config().nx, extractor.config().ny, design.core(), 0.0);
   FeatureFrameGrad upstream{std::move(d_rudy), zero, zero, zero};
   std::vector<double> gx, gy;
-  hi_extractor_.backward(design, upstream, gx, gy);
+  extractor.backward(design, upstream, gx, gy);
   for (std::size_t i = 0; i < gx.size(); ++i) {
     pen_gx[i] += gx[i];
     pen_gy[i] += gy[i];
   }
   return loss;
+}
+
+double CongestionPenalty::analytic_penalty(const Design& design, std::vector<double>& pen_gx,
+                                           std::vector<double>& pen_gy) {
+  obs::PhaseSpan phase(breakdown_, "analytic fallback");
+  return analytic_rudy_penalty(design, hi_extractor_,
+                               static_cast<double>(models_.scale_hi.scale[0]), pen_gx, pen_gy);
 }
 
 void CongestionPenalty::add_scaled(const Design& design, const std::vector<double>& pen_gx,

@@ -69,6 +69,17 @@ struct PenaltyStats {
   std::uint64_t degradations = 0;          ///< times degraded mode was entered
 };
 
+/// Model-free RUDY penalty: L = (1/MN) Σ (s · rudy_i)² at `extractor`'s
+/// resolution, with its exact gradient chained through the analytic RUDY
+/// backward (Eq. 17) and *accumulated* into the movable-indexed
+/// `pen_gx`/`pen_gy` (callers pass zeroed buffers of num_movable()).
+/// Touches no network — it is the degradation fallback's core and is
+/// finite-difference-checked in test_properties. `rudy_scale` is the
+/// congestion-resolution RUDY normalization (FeatureScale::scale[0]).
+double analytic_rudy_penalty(const Design& design, const FeatureExtractor& extractor,
+                             double rudy_scale, std::vector<double>& pen_gx,
+                             std::vector<double>& pen_gy);
+
 class CongestionPenalty {
  public:
   CongestionPenalty(PenaltyConfig config, LacoModels models);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace laco {
 
 LacoRunResult run_laco_placement(Design& design, const LacoPlacerConfig& config,
@@ -31,9 +33,15 @@ LacoRunResult run_laco_placement(Design& design, const LacoPlacerConfig& config,
     });
   }
 
-  result.placement = placer.run();
+  {
+    obs::TraceSpan span("laco: global placement", "laco");
+    result.placement = placer.run();
+  }
   if (penalty) result.penalty_stats = penalty->stats();
-  result.evaluation = evaluate_placement(design, config.router);
+  {
+    obs::TraceSpan span("laco: evaluation routing", "laco");
+    result.evaluation = evaluate_placement(design, config.router);
+  }
   return result;
 }
 

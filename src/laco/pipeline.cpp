@@ -7,6 +7,7 @@
 #include "train/trace_io.hpp"
 
 #include "nn/ops.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace laco {
@@ -82,6 +83,7 @@ const std::vector<PlacementTrace>& Pipeline::traces_for(const std::vector<std::s
       }
     }
   }
+  obs::TraceSpan span("pipeline: collect traces", "pipeline");
   auto traces = collect_traces(names, config_.scale, config_.runs_per_design, config_.trace);
   if (!cache_path.empty()) {
     if (!save_traces_file(traces, cache_path)) {
@@ -92,6 +94,7 @@ const std::vector<PlacementTrace>& Pipeline::traces_for(const std::vector<std::s
 }
 
 LacoModels Pipeline::train_models(LacoScheme scheme, const std::vector<PlacementTrace>& traces) {
+  obs::TraceSpan span("pipeline: train models", "pipeline");
   const SchemeTraits traits = traits_of(scheme);
   LacoModels models;
   models.scheme = scheme;

@@ -1,0 +1,71 @@
+#include "obs/bench_report.hpp"
+
+#include <fstream>
+#include <utility>
+
+namespace laco::obs {
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {}
+
+void BenchReporter::set_setting(const std::string& key, Json value) {
+  settings_[key] = std::move(value);
+}
+
+void BenchReporter::set_metric(const std::string& key, double value) {
+  metrics_[key] = value;
+}
+
+void BenchReporter::add_row(const std::string& series, Json row) {
+  Json& slot = series_[series];
+  if (slot.is_null()) slot = Json::array();
+  slot.push_back(std::move(row));
+}
+
+Json BenchReporter::to_json() const {
+  Json out = Json::object();
+  out["schema"] = "laco-bench";
+  out["schema_version"] = kSchemaVersion;
+  out["name"] = name_;
+  out["settings"] = settings_;
+  out["metrics"] = metrics_;
+  out["series"] = series_;
+  return out;
+}
+
+bool BenchReporter::write(const std::string& path) const {
+  const std::string target = path.empty() ? "BENCH_" + name_ + ".json" : path;
+  std::ofstream out(target, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json().dump(1);
+  return static_cast<bool>(out);
+}
+
+std::string BenchReporter::validate(const Json& report) {
+  if (!report.is_object()) return "report is not a JSON object";
+  if (!report.contains("schema") || !report.at("schema").is_string() ||
+      report.at("schema").as_string() != "laco-bench") {
+    return "missing or wrong \"schema\" (want \"laco-bench\")";
+  }
+  if (!report.contains("schema_version") || !report.at("schema_version").is_number() ||
+      report.at("schema_version").as_int() != kSchemaVersion) {
+    return "missing or unsupported \"schema_version\"";
+  }
+  if (!report.contains("name") || !report.at("name").is_string() ||
+      report.at("name").as_string().empty()) {
+    return "missing \"name\"";
+  }
+  for (const char* section : {"settings", "metrics", "series"}) {
+    if (!report.contains(section) || !report.at(section).is_object()) {
+      return std::string("missing object section \"") + section + "\"";
+    }
+  }
+  for (const auto& [key, value] : report.at("metrics").as_object()) {
+    if (!value.is_number()) return "metric \"" + key + "\" is not a number";
+  }
+  for (const auto& [key, value] : report.at("series").as_object()) {
+    if (!value.is_array()) return "series \"" + key + "\" is not an array";
+  }
+  return "";
+}
+
+}  // namespace laco::obs

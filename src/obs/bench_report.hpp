@@ -1,0 +1,55 @@
+// BenchReporter — schema-versioned machine-readable bench results.
+// Every bench that feeds the perf trajectory writes one BENCH_<name>.json
+// next to its human-readable table, so CI can archive the numbers and
+// regressions are diffable (docs/OBSERVABILITY.md has the schema).
+//
+// Layout (schema "laco-bench", version 1):
+//   {
+//     "schema": "laco-bench",
+//     "schema_version": 1,
+//     "name": "serve",
+//     "settings": { ...bench knobs, values of any JSON type... },
+//     "metrics":  { ...headline numbers, name -> number... },
+//     "series":   { ...optional named arrays of row objects... }
+//   }
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace laco::obs {
+
+class BenchReporter {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchReporter(std::string name);
+
+  /// Records a bench knob (grid size, request count, scale ...).
+  void set_setting(const std::string& key, Json value);
+  /// Records a headline metric; must be a number.
+  void set_metric(const std::string& key, double value);
+  /// Appends one row object to the named series (created on demand).
+  void add_row(const std::string& series, Json row);
+
+  const std::string& name() const { return name_; }
+  Json to_json() const;
+
+  /// Writes to_json() to `path` (default "BENCH_<name>.json" in the
+  /// working directory); false on I/O failure.
+  bool write(const std::string& path = "") const;
+
+  /// Structural schema check for a parsed report: returns an empty
+  /// string when `report` is a valid laco-bench v1 document, otherwise
+  /// a description of the first problem. Used by tests and CI smoke.
+  static std::string validate(const Json& report);
+
+ private:
+  std::string name_;
+  Json settings_ = Json::object();
+  Json metrics_ = Json::object();
+  Json series_ = Json::object();
+};
+
+}  // namespace laco::obs

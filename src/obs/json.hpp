@@ -1,0 +1,91 @@
+// Minimal JSON value type — the serialization substrate of the
+// observability layer (docs/OBSERVABILITY.md). One recursive value
+// covers both directions:
+//   * building: trace exports, metric snapshots, BENCH_*.json reports;
+//   * parsing: golden-file regression tests and structural validation
+//     of emitted artifacts (Chrome traces, bench schemas).
+//
+// Objects preserve insertion order (benches and goldens emit keys in a
+// fixed order, so output is byte-deterministic for identical inputs);
+// numbers are doubles, printed as integers when exactly integral so
+// counters round-trip cleanly up to 2^53.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace laco::obs {
+
+class Json;
+
+/// Ordered key/value pairs; lookup is linear (objects here are small).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : value_(b) {}                // NOLINT(google-explicit-constructor)
+  Json(double d) : value_(d) {}              // NOLINT(google-explicit-constructor)
+  Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor)
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}   // NOLINT
+  Json(std::uint64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}        // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}          // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}            // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}           // NOLINT
+
+  static Json object() { return Json(JsonObject{}); }
+  static Json array() { return Json(JsonArray{}); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;  ///< as_double, checked integral
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object access. set() replaces an existing key; operator[] creates
+  /// the key (converting a null value to an empty object first).
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;  ///< throws if absent
+  Json& operator[](const std::string& key);
+  void set(const std::string& key, Json value) { (*this)[key] = std::move(value); }
+
+  /// Array append (converts a null value to an empty array first).
+  void push_back(Json value);
+  std::size_t size() const;  ///< elements (array) or members (object)
+
+  /// Renders the value. indent < 0: compact one-liner; otherwise
+  /// pretty-printed with `indent` spaces per level and a trailing '\n'.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+}  // namespace laco::obs

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 
+#include "obs/trace.hpp"
 #include "placer/nesterov.hpp"
 #include "util/logging.hpp"
 
@@ -83,11 +83,11 @@ PlacementResult GlobalPlacer::run() {
   int best_overflow_iter = 0;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    obs::TraceSpan iter_span("placement: iteration", "placer");
     design_.set_movable_positions(optimizer.vx(), optimizer.vy());
 
     {
-      std::optional<ScopedPhase> phase;
-      if (breakdown_) phase.emplace(*breakdown_, "placement: density");
+      obs::PhaseSpan phase(breakdown_, "placement: density");
       density_.update(design_);
     }
     const double overflow = density_.overflow(design_);
@@ -102,8 +102,7 @@ PlacementResult GlobalPlacer::run() {
     std::fill(gy_cell.begin(), gy_cell.end(), 0.0);
     double wa_wl = 0.0;
     {
-      std::optional<ScopedPhase> phase;
-      if (breakdown_) phase.emplace(*breakdown_, "placement: wirelength");
+      obs::PhaseSpan phase(breakdown_, "placement: wirelength");
       wa_wl = wirelength_.evaluate_with_grad(design_, gx_cell, gy_cell);
     }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "serve/errors.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
@@ -43,8 +44,26 @@ ServiceConfig ServiceConfig::validated() const {
   return v;
 }
 
+ServiceMetrics::ServiceMetrics(obs::MetricRegistry& registry)
+    : requests(registry.counter("serve.requests")),
+      completed(registry.counter("serve.completed")),
+      batches(registry.counter("serve.batches")),
+      batched_items(registry.counter("serve.batched_items")),
+      retried_batches(registry.counter("serve.retried_batches")),
+      failed_batches(registry.counter("serve.failed_batches")),
+      deadline_expired(registry.counter("serve.deadline_expired")),
+      breaker_rejected(registry.counter("serve.breaker_rejected")),
+      breaker_opens(registry.counter("serve.breaker_opens")),
+      in_flight(registry.gauge("serve.in_flight")),
+      max_in_flight(registry.gauge("serve.max_in_flight")),
+      latency_ms(registry.histogram("serve.latency_ms")),
+      batch_size(registry.histogram(
+          "serve.batch_size",
+          obs::Histogram::exponential_bounds(1.0, 1024.0, 2.0))) {}
+
 InferenceService::InferenceService(ServiceConfig config)
     : config_(config.validated()),
+      metrics_(obs::MetricRegistry::global()),
       pool_(config_.num_threads, config_.queue_capacity),
       batcher_(config_.batcher) {
   flusher_ = std::thread([this] { flusher_loop(); });
@@ -81,6 +100,7 @@ std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModel
     MutexLock lock(mutex_);
     if (stopping_) throw std::runtime_error("InferenceService::submit after shutdown");
     ++counters_.requests;
+    metrics_.requests.add(1);
 
     // Breaker gate: a persistently failing (model set, kind) fails fast
     // instead of queueing doomed work onto the pool.
@@ -88,6 +108,8 @@ std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModel
     if (breaker_it != breakers_.end() && !breaker_it->second.allow(now)) {
       ++counters_.breaker_rejected;
       ++counters_.completed;
+      metrics_.breaker_rejected.add(1);
+      metrics_.completed.add(1);
       item.result.set_exception(std::make_exception_ptr(CircuitOpenError(
           std::string("InferenceService: circuit open for ") + to_string(kind) +
           " model, failing fast (cooldown " +
@@ -97,6 +119,8 @@ std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModel
 
     ++counters_.in_flight;
     counters_.max_in_flight = std::max(counters_.max_in_flight, counters_.in_flight);
+    metrics_.in_flight.set(static_cast<double>(counters_.in_flight));
+    metrics_.max_in_flight.record_max(static_cast<double>(counters_.max_in_flight));
     full = batcher_.add(std::move(item));
   }
   if (full) enqueue(std::move(*full));
@@ -108,6 +132,9 @@ void InferenceService::enqueue(Batch batch) {
     MutexLock lock(mutex_);
     ++counters_.batches;
     counters_.batched_items += batch.items.size();
+    metrics_.batches.add(1);
+    metrics_.batched_items.add(batch.items.size());
+    metrics_.batch_size.observe(static_cast<double>(batch.items.size()));
   }
   // The pool applies backpressure: submit blocks while its queue is
   // full. Never call this while holding mutex_ — workers need it to
@@ -156,6 +183,7 @@ void InferenceService::execute(Batch batch) {
   std::uint64_t retries_used = 0;
   if (!live.items.empty()) {
     attempted = true;
+    obs::TraceSpan span("serve.execute_batch", "serve");
     for (int attempt = 0;; ++attempt) {
       try {
         const nn::Tensor output = forward_batch(live);
@@ -181,6 +209,7 @@ void InferenceService::execute(Batch batch) {
     MutexLock lock(mutex_);
     for (const auto& t0 : enqueued) {
       const double ms = std::chrono::duration<double, std::milli>(now - t0).count();
+      metrics_.latency_ms.observe(ms);
       if (latencies_ms_.size() < config_.latency_reservoir) {
         latencies_ms_.push_back(ms);
       } else {
@@ -192,6 +221,10 @@ void InferenceService::execute(Batch batch) {
     counters_.in_flight -= n;
     counters_.deadline_expired += expired.items.size();
     counters_.retried_batches += retries_used;
+    metrics_.completed.add(n);
+    metrics_.in_flight.set(static_cast<double>(counters_.in_flight));
+    metrics_.deadline_expired.add(expired.items.size());
+    metrics_.retried_batches.add(retries_used);
     if (attempted) {
       CircuitBreaker& breaker =
           breakers_
@@ -204,9 +237,11 @@ void InferenceService::execute(Batch batch) {
         breaker.record_success();
       } else {
         ++counters_.failed_batches;
+        metrics_.failed_batches.add(1);
         breaker.record_failure(now);
       }
       counters_.breaker_opens += breaker.times_opened() - opened_before;
+      metrics_.breaker_opens.add(breaker.times_opened() - opened_before);
     }
   }
   drained_.notify_all();

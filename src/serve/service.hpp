@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "util/mutex.hpp"
@@ -98,6 +99,29 @@ struct ServiceCounters {
   }
 };
 
+/// Registry-backed mirrors of ServiceCounters plus latency / batch-size
+/// histograms, published under the "serve." prefix so CLI stats dumps
+/// and tests observe live service telemetry without touching the
+/// service's lock (docs/OBSERVABILITY.md). References are stable for
+/// the registry's lifetime; counters/gauges are lock-free.
+struct ServiceMetrics {
+  explicit ServiceMetrics(obs::MetricRegistry& registry);
+
+  obs::Counter& requests;
+  obs::Counter& completed;
+  obs::Counter& batches;
+  obs::Counter& batched_items;
+  obs::Counter& retried_batches;
+  obs::Counter& failed_batches;
+  obs::Counter& deadline_expired;
+  obs::Counter& breaker_rejected;
+  obs::Counter& breaker_opens;
+  obs::Gauge& in_flight;
+  obs::Gauge& max_in_flight;
+  obs::Histogram& latency_ms;   ///< submit → result, per request
+  obs::Histogram& batch_size;   ///< items per executed forward pass
+};
+
 class InferenceService {
  public:
   explicit InferenceService(ServiceConfig config = {});
@@ -148,6 +172,9 @@ class InferenceService {
   std::chrono::duration<double, std::milli> backoff_delay(int attempt);
 
   ServiceConfig config_;
+  /// Lock-free registry mirrors updated alongside counters_ at every
+  /// site; readable without mutex_ (CLI stats dumps, tests).
+  ServiceMetrics metrics_;
   ThreadPool pool_;
   mutable Mutex mutex_;
   CondVar drained_;

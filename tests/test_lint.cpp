@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,37 @@ TEST(LintRules, StripperRemovesCommentsAndStringsOnly) {
       "int x = 1; // trailing\nconst char* s = \"str\\\"ing\";\n/* multi\nline */ int y;\n");
   EXPECT_EQ(stripped,
             "int x = 1;            \nconst char* s =           ;\n        \n        int y;\n");
+}
+
+TEST(LintTree, UnregisteredTestFileIsFlagged) {
+  // Synthesized tree: test_good.cpp is registered, test_orphan.cpp is
+  // not — only the orphan may be diagnosed, and only by this rule.
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "lint_reg_tree";
+  fs::remove_all(root);
+  fs::create_directories(root / "tests");
+  const auto put = [](const fs::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+  };
+  put(root / "tests" / "test_good.cpp", "int main() { return 0; }\n");
+  put(root / "tests" / "test_orphan.cpp", "int main() { return 0; }\n");
+  put(root / "tests" / "helper.cpp", "int helper() { return 1; }\n");  // not a test: exempt
+  put(root / "tests" / "CMakeLists.txt", "laco_add_test(test_good)\n");
+
+  std::vector<std::string> violations;
+  for (const Diagnostic& d : laco::lint::lint_tree(root)) violations.push_back(d.str());
+  EXPECT_EQ(violations,
+            std::vector<std::string>{
+                "tests/test_orphan.cpp:1: [test-registered] register it with "
+                "laco_add_test(test_orphan) in tests/CMakeLists.txt — unregistered tests "
+                "never run"});
+
+  // Registering the orphan clears the diagnostic (whitespace-tolerant).
+  put(root / "tests" / "CMakeLists.txt",
+      "laco_add_test(test_good)\nlaco_add_test( test_orphan )\n");
+  EXPECT_TRUE(laco::lint::lint_tree(root).empty());
+  fs::remove_all(root);
 }
 
 TEST(LintTree, RepoIsCleanAndWalkSkipsFixtures) {

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "features/feature_stack.hpp"
+#include "laco/congestion_penalty.hpp"
 #include "metrics/kl_divergence.hpp"
+#include "obs/metrics.hpp"
 #include "metrics/nrms.hpp"
 #include "metrics/ssim.hpp"
 #include "netlist/bookshelf_io.hpp"
@@ -14,6 +16,9 @@
 #include "router/congestion_eval.hpp"
 #include "router/global_router.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <random>
 #include <sstream>
 
 namespace laco {
@@ -211,6 +216,200 @@ TEST_P(WirelengthGamma, GradientMatchesFiniteDifferenceAcrossGamma) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Gammas, WirelengthGamma, ::testing::Values(0.1, 0.5, 2.0, 8.0));
+
+// --- Eq. 17 RUDY backward: gradient vs finite differences ---------------
+//
+// rudy_backward deliberately drops the spread-geometry transport term:
+// it differentiates the net *value* (1/w + 1/h) through the boundary
+// pins while freezing which bins the value lands in (see
+// src/features/rudy.cpp, "only boundary pins move the value"). The
+// faithful property is therefore: the returned gradient is the exact
+// derivative of the frozen-geometry surrogate
+//
+//   φ̃(pos) = Σ_n weight_n · (1/w_eff_n(pos) + 1/h_eff_n(pos)) · S_n,
+//
+// where S_n = Σ_bins upstream · overlap(base spread)/bin_area is fixed
+// at the base positions. φ̃ is smooth in w and h, so central differences
+// are tight and a mismatch means a sign/indexing/accumulation bug.
+
+class RudyBackwardFD : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RudyBackwardFD, MatchesFiniteDifferenceOfFrozenGeometrySurrogate) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 45;
+  cfg.seed = GetParam();
+  Design d = generate_design(cfg);
+  const int n = 10;
+  GridMap upstream(n, n, d.core(), 0.0);
+  for (std::size_t i = 0; i < upstream.size(); ++i) {
+    upstream[i] = std::sin(0.7 * static_cast<double>(i)) + 0.2;
+  }
+  const double min_w = upstream.bin_width();
+  const double min_h = upstream.bin_height();
+
+  // Per-net raw pin bounding box at the current positions.
+  const auto net_box = [&](const Net& net) {
+    Rect box;
+    bool first = true;
+    for (const PinId pid : net.pins) {
+      const Point p = d.pin_position(pid);
+      if (first || p.x < box.xl) box.xl = p.x;
+      if (first || p.x > box.xh) box.xh = p.x;
+      if (first || p.y < box.yl) box.yl = p.y;
+      if (first || p.y > box.yh) box.yh = p.y;
+      first = false;
+    }
+    return box;
+  };
+
+  // Frozen spread weights S_n at the base positions.
+  std::vector<double> S(d.num_nets(), 0.0);
+  for (std::size_t ni = 0; ni < d.num_nets(); ++ni) {
+    const Net& net = d.nets()[ni];
+    if (net.degree() < 2) continue;
+    const Rect box = net_box(net);
+    const double w_eff = std::max(box.width(), min_w);
+    const double h_eff = std::max(box.height(), min_h);
+    const Point c = box.center();
+    const Rect spread{c.x - w_eff * 0.5, c.y - h_eff * 0.5, c.x + w_eff * 0.5,
+                      c.y + h_eff * 0.5};
+    GridMap unit(n, n, d.core(), 0.0);
+    unit.add_rect(spread, 1.0, /*density_mode=*/false);
+    for (std::size_t i = 0; i < unit.size(); ++i) S[ni] += upstream[i] * unit[i];
+  }
+
+  const auto surrogate = [&] {
+    double phi = 0.0;
+    for (std::size_t ni = 0; ni < d.num_nets(); ++ni) {
+      const Net& net = d.nets()[ni];
+      if (net.degree() < 2) continue;
+      const Rect box = net_box(net);
+      const double w_eff = std::max(box.width(), min_w);
+      const double h_eff = std::max(box.height(), min_h);
+      phi += net.weight * (1.0 / w_eff + 1.0 / h_eff) * S[ni];
+    }
+    return phi;
+  };
+
+  std::vector<double> gx(d.num_cells(), 0.0), gy(d.num_cells(), 0.0);
+  rudy_backward(d, upstream, gx, gy);
+
+  const double eps = 1e-6 * d.core().width();
+  for (std::size_t i = 0; i < d.movable_cells().size(); i += 5) {
+    const CellId cid = d.movable_cells()[i];
+    const std::size_t ci = static_cast<std::size_t>(cid);
+    for (const bool horizontal : {true, false}) {
+      Cell& cell = d.cell(cid);
+      double& coord = horizontal ? cell.x : cell.y;
+      const double saved = coord;
+      coord = saved + eps;
+      const double up = surrogate();
+      coord = saved - eps;
+      const double down = surrogate();
+      coord = saved;
+      const double fd = (up - down) / (2 * eps);
+      const double got = horizontal ? gx[ci] : gy[ci];
+      EXPECT_NEAR(fd, got, 1e-4 * std::max(std::abs(fd), std::abs(got)) + 1e-8)
+          << "cell " << cid << (horizontal ? " x" : " y");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RudyBackwardFD, ::testing::Values(3u, 19u, 42u));
+
+// --- analytic RUDY fallback: loss formula and gradient chain ------------
+//
+// analytic_rudy_penalty documents L = (1/MN) Σ (s·rudy_i)² with upstream
+// d_rudy_i = 2 s² rudy_i / MN chained through the shared feature
+// backward (src/laco/congestion_penalty.hpp). Both halves are checked
+// against the public APIs; combined with RudyBackwardFD above, the
+// whole fallback gradient chain is covered.
+
+TEST(AnalyticRudyPenalty, LossAndGradientMatchDocumentedChain) {
+  GeneratorConfig cfg;
+  cfg.num_cells = 50;
+  cfg.seed = 9;
+  Design d = generate_design(cfg);
+  const int n = 12;
+  const FeatureExtractor ex(FeatureConfig{n, n, QuasiVoxScheme::kWeightedSum, false});
+  const double s = 0.7;
+
+  std::vector<double> pen_gx(d.num_movable(), 0.0), pen_gy(d.num_movable(), 0.0);
+  const double loss = analytic_rudy_penalty(d, ex, s, pen_gx, pen_gy);
+
+  const FeatureFrame frame = ex.compute(d);
+  const double inv_size = 1.0 / static_cast<double>(frame.rudy.size());
+  double want_loss = 0.0;
+  GridMap d_rudy(n, n, d.core(), 0.0);
+  for (std::size_t i = 0; i < frame.rudy.size(); ++i) {
+    want_loss += (s * frame.rudy[i]) * (s * frame.rudy[i]) * inv_size;
+    d_rudy[i] = 2.0 * s * s * frame.rudy[i] * inv_size;
+  }
+  EXPECT_GT(loss, 0.0);
+  EXPECT_NEAR(loss, want_loss, 1e-12 * std::max(1.0, want_loss));
+
+  const GridMap zero(n, n, d.core(), 0.0);
+  const FeatureFrameGrad upstream{d_rudy, zero, zero, zero};
+  std::vector<double> want_gx, want_gy;
+  ex.backward(d, upstream, want_gx, want_gy);
+  ASSERT_EQ(pen_gx.size(), want_gx.size());
+  double grad_norm = 0.0;
+  for (std::size_t i = 0; i < want_gx.size(); ++i) {
+    EXPECT_NEAR(pen_gx[i], want_gx[i], 1e-12 + 1e-9 * std::abs(want_gx[i]));
+    EXPECT_NEAR(pen_gy[i], want_gy[i], 1e-12 + 1e-9 * std::abs(want_gy[i]));
+    grad_norm += std::abs(want_gx[i]) + std::abs(want_gy[i]);
+  }
+  EXPECT_GT(grad_norm, 0.0) << "fallback gradient should push cells somewhere";
+}
+
+// --- histogram percentiles vs a sorted-vector oracle --------------------
+//
+// The fixed-bucket estimator interpolates inside the bucket containing
+// the target rank, so its error is bounded by that bucket's width
+// (src/obs/metrics.hpp). Checked against the exact sorted-sample
+// percentile across several distributions.
+
+class HistogramOracle : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HistogramOracle, PercentileWithinOneBucketOfSortedOracle) {
+  std::mt19937 rng(GetParam());
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  obs::Histogram hist(obs::Histogram::exponential_bounds(0.01, 200.0, 1.5));
+  std::vector<double> values;
+  values.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::min(150.0, dist(rng));
+    values.push_back(v);
+    hist.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.total, values.size());
+  EXPECT_EQ(snap.min, values.front());
+  EXPECT_EQ(snap.max, values.back());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  EXPECT_NEAR(snap.mean(), sum / static_cast<double>(values.size()), 1e-9);
+
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    // Exact continuous-rank percentile of the sorted sample.
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo_idx = static_cast<std::size_t>(rank);
+    const std::size_t hi_idx = std::min(lo_idx + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo_idx);
+    const double oracle = values[lo_idx] * (1.0 - frac) + values[hi_idx] * frac;
+
+    // Width of the bucket containing the oracle value.
+    const auto it = std::lower_bound(snap.bounds.begin(), snap.bounds.end(), oracle);
+    const std::size_t b = static_cast<std::size_t>(it - snap.bounds.begin());
+    const double blo = b == 0 ? snap.min : snap.bounds[b - 1];
+    const double bhi = b < snap.bounds.size() ? snap.bounds[b] : snap.max;
+    const double width = std::max(1e-12, bhi - blo);
+    EXPECT_NEAR(snap.percentile(p), oracle, width + 1e-9) << "p" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramOracle, ::testing::Values(1u, 7u, 23u));
 
 }  // namespace
 }  // namespace laco

@@ -7,9 +7,11 @@
 //
 //   laco place <FILE.lbk> [--scheme dreamplace|dreamcong|laco]
 //              [--models DIR] [--iters N] [--bins B] [--out FILE.lbk]
-//              [--svg FILE.svg]
+//              [--svg FILE.svg] [--trace-out FILE.json]
 //       Runs global placement (+ LG + DP), optionally congestion-guided
 //       with models saved by `laco train` / the train_lookahead example.
+//       --trace-out records per-phase spans and writes Chrome
+//       trace_event JSON (chrome://tracing / ui.perfetto.dev).
 //
 //   laco eval <FILE.lbk> [--grid G] [--svg FILE.svg]
 //       Routes the placement as-is and reports WCS / wirelength; the SVG
@@ -22,6 +24,7 @@
 //
 //   laco serve [--models DIR] [--threads N] [--batch B] [--linger MS]
 //              [--requests R] [--clients C] [--grid G] [--kind K]
+//              [--stats-every-ms N]
 //       Stands up the resident batched inference service, drives a
 //       synthetic request load against it (from C client threads), and
 //       prints a throughput / latency / batching report against the
@@ -59,6 +62,8 @@
 #include "netlist/design_stats.hpp"
 #include "netlist/ispd2015_suite.hpp"
 #include "netlist/svg_plot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/errors.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/service.hpp"
@@ -94,11 +99,19 @@ Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0 && i + 1 < argc) {
-      args.options[a.substr(2)] = argv[++i];
-    } else {
-      args.positional.push_back(a);
+    if (a.rfind("--", 0) == 0) {
+      // Both spellings: --key value and --key=value.
+      const std::size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        args.options[a.substr(2, eq - 2)] = a.substr(eq + 1);
+        continue;
+      }
+      if (i + 1 < argc) {
+        args.options[a.substr(2)] = argv[++i];
+        continue;
+      }
     }
+    args.positional.push_back(a);
   }
   return args;
 }
@@ -183,7 +196,23 @@ int cmd_place(const Args& args) {
     models_ptr = &models;
   }
 
+  // --trace-out FILE: record per-phase spans for the whole run and
+  // export Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev).
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::global().start();
+
   const LacoRunResult result = run_laco_placement(design, cfg, models_ptr);
+
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::global().stop();
+    if (!obs::TraceRecorder::global().write_chrome_trace(trace_out)) {
+      std::cerr << "cannot write trace " << trace_out << '\n';
+      return 1;
+    }
+    std::cout << "wrote trace " << trace_out << " ("
+              << obs::TraceRecorder::global().event_count()
+              << " events; load in chrome://tracing)\n";
+  }
   std::cout << "placement: " << result.placement.iterations << " iterations, HPWL "
             << result.evaluation.hpwl << ", overflow " << result.placement.final_overflow
             << "\nrouting: WCS_H " << result.evaluation.wcs_h << ", WCS_V "
@@ -473,8 +502,23 @@ int cmd_serve(const Args& args) {
   double service_s = 0.0;
   serve::ServiceCounters counters;
   std::vector<double> latencies;
+  // --stats-every-ms N: periodic metric-registry dumps while the load
+  // runs (the migrated "serve.*" counters/gauges/histograms).
+  const int stats_every_ms = args.get_int("stats-every-ms", 0);
   {
     serve::InferenceService service(sc);
+    std::atomic<bool> stats_stop{false};
+    std::thread stats_thread;
+    if (stats_every_ms > 0) {
+      stats_thread = std::thread([&] {
+        while (!stats_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(stats_every_ms));
+          if (stats_stop.load(std::memory_order_relaxed)) break;
+          std::cout << "-- serve stats --\n"
+                    << obs::MetricRegistry::global().snapshot().to_string("serve.");
+        }
+      });
+    }
     timer.reset();
     std::vector<std::thread> threads;
     std::vector<std::vector<std::pair<std::size_t, std::future<nn::Tensor>>>> futures(
@@ -496,6 +540,10 @@ int cmd_serve(const Args& args) {
     service.drain();  // futures resolve before the service's bookkeeping
     counters = service.counters();
     latencies = service.latency_snapshot_ms();
+    if (stats_thread.joinable()) {
+      stats_stop.store(true, std::memory_order_relaxed);
+      stats_thread.join();
+    }
   }
 
   double max_err = 0.0;
@@ -518,7 +566,9 @@ int cmd_serve(const Args& args) {
             << " batches\n"
             << "latency ms: p50 " << serve::percentile(latencies, 50.0) << ", p99 "
             << serve::percentile(latencies, 99.0) << "\n"
-            << "batched vs sequential max |diff|: " << max_err << '\n';
+            << "batched vs sequential max |diff|: " << max_err << '\n'
+            << "-- serve stats (final) --\n"
+            << obs::MetricRegistry::global().snapshot().to_string("serve.");
   return max_err <= 1e-5 ? 0 : 1;
 }
 

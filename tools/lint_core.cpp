@@ -392,12 +392,36 @@ std::vector<std::string> collect_files(const fs::path& root) {
   return files;
 }
 
+std::vector<Diagnostic> check_tests_registered(const fs::path& root,
+                                               const std::vector<std::string>& files) {
+  std::vector<Diagnostic> out;
+  const fs::path cmake_list = root / "tests" / "CMakeLists.txt";
+  if (!fs::exists(cmake_list)) return out;
+  const std::string cmake = read_file(cmake_list);
+  for (const std::string& rel : files) {
+    if (rel.rfind("tests/test_", 0) != 0 || rel.find('/', 6) != std::string::npos) continue;
+    if (rel.size() < 4 || rel.compare(rel.size() - 4, 4, ".cpp") != 0) continue;
+    const std::string stem = rel.substr(6, rel.size() - 6 - 4);  // "test_*"
+    const std::regex registered("laco_add_test\\s*\\(\\s*" + stem + "\\s*\\)");
+    if (!std::regex_search(cmake, registered)) {
+      add(out, rel, 1, "test-registered",
+          "register it with laco_add_test(" + stem +
+              ") in tests/CMakeLists.txt — unregistered tests never run");
+    }
+  }
+  return out;
+}
+
 std::vector<Diagnostic> lint_tree(const fs::path& root, const Options& options) {
   const std::vector<std::string> files = collect_files(root);
   std::vector<Diagnostic> out;
   for (const std::string& rel : files) {
     std::vector<Diagnostic> file_diags = lint_file(root / rel, rel, options);
     out.insert(out.end(), file_diags.begin(), file_diags.end());
+  }
+  if (options.text_rules) {
+    std::vector<Diagnostic> reg = check_tests_registered(root, files);
+    out.insert(out.end(), reg.begin(), reg.end());
   }
 
   if (options.check_self_contained) {

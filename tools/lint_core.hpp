@@ -43,6 +43,14 @@ std::string strip_comments_and_strings(const std::string& source);
 std::vector<Diagnostic> lint_file(const std::filesystem::path& file, const std::string& relpath,
                                   const Options& options = {});
 
+/// Tree rule "test-registered": every tests/test_*.cpp among `files`
+/// (root-relative paths) must appear as laco_add_test(<stem>) in
+/// tests/CMakeLists.txt under `root` — an unregistered test compiles
+/// nowhere and silently never runs in CI. No-op when the CMake list is
+/// absent (fixture trees).
+std::vector<Diagnostic> check_tests_registered(const std::filesystem::path& root,
+                                               const std::vector<std::string>& files);
+
 /// Root-relative paths of every C++ file the tree walk visits:
 /// src/ tests/ tools/ bench/, skipping lint_fixtures/ (rule-violating
 /// test inputs) and anything that is not .hpp/.h/.cpp/.cc.
