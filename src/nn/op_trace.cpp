@@ -1,0 +1,14 @@
+#include "nn/op_trace.hpp"
+
+namespace laco::nn {
+
+namespace {
+thread_local OpTraceSink* g_op_trace = nullptr;
+}
+
+OpTraceSink* active_op_trace() { return g_op_trace; }
+
+OpTraceScope::OpTraceScope(OpTraceSink* sink) : previous_(g_op_trace) { g_op_trace = sink; }
+OpTraceScope::~OpTraceScope() { g_op_trace = previous_; }
+
+}  // namespace laco::nn

@@ -1,0 +1,94 @@
+// Op-introspection hooks for plan compilation (src/plan).
+//
+// A thread can install an OpTraceSink; while it is active, every op
+// that supports replay calls trace_op() after computing its output
+// eagerly, handing the sink a *kernel*: a closure over the op's static
+// parameters (dims, strides, eps, ...) that reproduces the forward
+// computation from raw input pointers into a raw output buffer. The
+// kernel runs the exact same code path as the eager forward (ops
+// factor their loops into shared helpers), so a replayed plan is
+// bitwise-equal to eager execution by construction.
+//
+// make_op_output() additionally calls note_output() for *every* op
+// while a sink is active — including ops that never call trace_op() —
+// so the plan compiler can detect "holes" (outputs produced by an
+// untraceable op) and fall back to eager execution instead of
+// miscompiling.
+//
+// The sink pointer is thread-local: tracing on one thread never
+// observes ops run concurrently by other threads.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace laco::nn {
+
+/// Replayable forward: `inputs[i]` is the raw data pointer of the i-th
+/// input (nullptr for an undefined optional input, e.g. a missing
+/// bias); `out` has room for the output's numel. Kernels are immutable
+/// after construction and safe to invoke concurrently.
+using OpKernel = std::function<void(const float* const* inputs, float* out)>;
+
+class OpTraceSink {
+ public:
+  virtual ~OpTraceSink() = default;
+
+  /// Called by make_op_output for every op output created while this
+  /// sink is active (even ops that do not support replay).
+  virtual void note_output(const std::shared_ptr<TensorImpl>& out) = 0;
+
+  /// Called by replay-capable ops after eager computation. `inputs`
+  /// holds one entry per op operand, nullptr where the operand was an
+  /// undefined Tensor; the kernel expects pointers in the same order.
+  virtual void record_op(const char* op, std::vector<std::shared_ptr<TensorImpl>> inputs,
+                         const std::shared_ptr<TensorImpl>& out, OpKernel kernel) = 0;
+};
+
+/// The calling thread's active sink, or nullptr when not tracing.
+OpTraceSink* active_op_trace();
+
+/// RAII: installs `sink` as the calling thread's active sink.
+class OpTraceScope {
+ public:
+  explicit OpTraceScope(OpTraceSink* sink);
+  ~OpTraceScope();
+  OpTraceScope(const OpTraceScope&) = delete;
+  OpTraceScope& operator=(const OpTraceScope&) = delete;
+
+ private:
+  OpTraceSink* previous_;
+};
+
+/// Op-side helper: records `out = op(inputs)` with the sink if one is
+/// active. `make_kernel` is only invoked while tracing, so untraced
+/// forwards pay exactly one thread-local read.
+template <typename MakeKernel>
+inline void trace_op(const char* op, std::initializer_list<const Tensor*> inputs,
+                     const Tensor& out, MakeKernel&& make_kernel) {
+  OpTraceSink* sink = active_op_trace();
+  if (sink == nullptr) return;
+  std::vector<std::shared_ptr<TensorImpl>> ins;
+  ins.reserve(inputs.size());
+  for (const Tensor* t : inputs) ins.push_back(t->defined() ? t->impl() : nullptr);
+  sink->record_op(op, std::move(ins), out.impl(), make_kernel());
+}
+
+/// Variadic-operand overload (cat_channels and friends).
+template <typename MakeKernel>
+inline void trace_op(const char* op, const std::vector<const Tensor*>& inputs, const Tensor& out,
+                     MakeKernel&& make_kernel) {
+  OpTraceSink* sink = active_op_trace();
+  if (sink == nullptr) return;
+  std::vector<std::shared_ptr<TensorImpl>> ins;
+  ins.reserve(inputs.size());
+  for (const Tensor* t : inputs) ins.push_back(t->defined() ? t->impl() : nullptr);
+  sink->record_op(op, std::move(ins), out.impl(), make_kernel());
+}
+
+}  // namespace laco::nn

@@ -1,5 +1,6 @@
 #include <stdexcept>
 
+#include "nn/op_trace.hpp"
 #include "nn/ops.hpp"
 
 namespace laco::nn {
@@ -13,6 +14,85 @@ void check_4d(const Tensor& t, const char* what) {
 
 std::size_t off4(int a, int b, int c, int d, int B, int C, int D) {
   return ((static_cast<std::size_t>(a) * B + b) * C + c) * D + d;
+}
+
+// Raw-pointer forward kernels shared by the eager path and the traced
+// plan kernels (nn/op_trace.hpp) — one definition keeps plan replay
+// bitwise-equal to eager execution.
+
+struct Conv2dParams {
+  int n, cin, h, w, cout, cin_g, kh, kw, oh, ow, cout_g, stride, padding;
+};
+
+void conv2d_forward(const Conv2dParams& p, const float* xd, const float* wd, const float* bd,
+                    float* y) {
+  for (int b = 0; b < p.n; ++b) {
+    for (int co = 0; co < p.cout; ++co) {
+      const int g = co / p.cout_g;
+      const float bval = bd != nullptr ? bd[static_cast<std::size_t>(co)] : 0.0f;
+      for (int yy = 0; yy < p.oh; ++yy) {
+        for (int xo = 0; xo < p.ow; ++xo) {
+          float acc = bval;
+          for (int ci = 0; ci < p.cin_g; ++ci) {
+            const int cig = g * p.cin_g + ci;
+            for (int dy = 0; dy < p.kh; ++dy) {
+              const int iy = yy * p.stride - p.padding + dy;
+              if (iy < 0 || iy >= p.h) continue;
+              for (int dx = 0; dx < p.kw; ++dx) {
+                const int ix = xo * p.stride - p.padding + dx;
+                if (ix < 0 || ix >= p.w) continue;
+                acc += xd[off4(b, cig, iy, ix, p.cin, p.h, p.w)] *
+                       wd[off4(co, ci, dy, dx, p.cin_g, p.kh, p.kw)];
+              }
+            }
+          }
+          y[off4(b, co, yy, xo, p.cout, p.oh, p.ow)] = acc;
+        }
+      }
+    }
+  }
+}
+
+struct ConvT2dParams {
+  int n, cin, h, w, cout, cin_g, cout_g, kh, kw, oh, ow, stride, padding;
+};
+
+// Fills the output with the bias (or zero — plan arenas hand the
+// kernel dirty memory) and then accumulates the scattered taps.
+void conv_transpose2d_forward(const ConvT2dParams& p, const float* xd, const float* wd,
+                              const float* bd, float* y) {
+  for (int b = 0; b < p.n; ++b) {
+    for (int co = 0; co < p.cout; ++co) {
+      const float bval = bd != nullptr ? bd[static_cast<std::size_t>(co)] : 0.0f;
+      for (int yy = 0; yy < p.oh; ++yy) {
+        for (int xo = 0; xo < p.ow; ++xo) y[off4(b, co, yy, xo, p.cout, p.oh, p.ow)] = bval;
+      }
+    }
+  }
+  for (int b = 0; b < p.n; ++b) {
+    for (int ci = 0; ci < p.cin; ++ci) {
+      const int g = ci / p.cin_g;
+      for (int iy = 0; iy < p.h; ++iy) {
+        for (int ix = 0; ix < p.w; ++ix) {
+          const float xval = xd[off4(b, ci, iy, ix, p.cin, p.h, p.w)];
+          if (xval == 0.0f) continue;
+          for (int co = 0; co < p.cout_g; ++co) {
+            const int cog = g * p.cout_g + co;
+            for (int dy = 0; dy < p.kh; ++dy) {
+              const int oy = iy * p.stride - p.padding + dy;
+              if (oy < 0 || oy >= p.oh) continue;
+              for (int dx = 0; dx < p.kw; ++dx) {
+                const int ox = ix * p.stride - p.padding + dx;
+                if (ox < 0 || ox >= p.ow) continue;
+                y[off4(b, cog, oy, ox, p.cout, p.oh, p.ow)] +=
+                    xval * wd[off4(ci, co, dy, dx, p.cout_g, p.kh, p.kw)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -73,33 +153,14 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias, int str
         }
       });
 
-  auto& y = out.data();
-  const auto& xd = x.data();
-  const auto& wd = weight.data();
-  for (int b = 0; b < n; ++b) {
-    for (int co = 0; co < cout; ++co) {
-      const int g = co / cout_g;
-      const float bval = bias.defined() ? bias.data()[static_cast<std::size_t>(co)] : 0.0f;
-      for (int yy = 0; yy < oh; ++yy) {
-        for (int xo = 0; xo < ow; ++xo) {
-          float acc = bval;
-          for (int ci = 0; ci < cin_g; ++ci) {
-            const int cig = g * cin_g + ci;
-            for (int dy = 0; dy < kh; ++dy) {
-              const int iy = yy * stride - padding + dy;
-              if (iy < 0 || iy >= h) continue;
-              for (int dx = 0; dx < kw; ++dx) {
-                const int ix = xo * stride - padding + dx;
-                if (ix < 0 || ix >= w) continue;
-                acc += xd[off4(b, cig, iy, ix, cin, h, w)] * wd[off4(co, ci, dy, dx, cin_g, kh, kw)];
-              }
-            }
-          }
-          y[off4(b, co, yy, xo, cout, oh, ow)] = acc;
-        }
-      }
-    }
-  }
+  const Conv2dParams params{n, cin, h, w, cout, cin_g, kh, kw, oh, ow, cout_g, stride, padding};
+  conv2d_forward(params, x.data().data(), weight.data().data(),
+                 bias.defined() ? bias.data().data() : nullptr, out.data().data());
+  trace_op("conv2d", {&x, &weight, &bias}, out, [params]() -> OpKernel {
+    return [params](const float* const* in, float* o) {
+      conv2d_forward(params, in[0], in[1], in[2], o);
+    };
+  });
   return out;
 }
 
@@ -176,43 +237,14 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& weight, const Tensor& bia
         }
       });
 
-  auto& y = out.data();
-  if (bias.defined()) {
-    for (int b = 0; b < n; ++b) {
-      for (int co = 0; co < cout; ++co) {
-        const float bval = bias.data()[static_cast<std::size_t>(co)];
-        for (int yy = 0; yy < oh; ++yy) {
-          for (int xo = 0; xo < ow; ++xo) y[off4(b, co, yy, xo, cout, oh, ow)] = bval;
-        }
-      }
-    }
-  }
-  const auto& xd = x.data();
-  const auto& wd = weight.data();
-  for (int b = 0; b < n; ++b) {
-    for (int ci = 0; ci < cin; ++ci) {
-      const int g = ci / cin_g;
-      for (int iy = 0; iy < h; ++iy) {
-        for (int ix = 0; ix < w; ++ix) {
-          const float xval = xd[off4(b, ci, iy, ix, cin, h, w)];
-          if (xval == 0.0f) continue;
-          for (int co = 0; co < cout_g; ++co) {
-            const int cog = g * cout_g + co;
-            for (int dy = 0; dy < kh; ++dy) {
-              const int oy = iy * stride - padding + dy;
-              if (oy < 0 || oy >= oh) continue;
-              for (int dx = 0; dx < kw; ++dx) {
-                const int ox = ix * stride - padding + dx;
-                if (ox < 0 || ox >= ow) continue;
-                y[off4(b, cog, oy, ox, cout, oh, ow)] +=
-                    xval * wd[off4(ci, co, dy, dx, cout_g, kh, kw)];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  const ConvT2dParams params{n, cin, h, w, cout, cin_g, cout_g, kh, kw, oh, ow, stride, padding};
+  conv_transpose2d_forward(params, x.data().data(), weight.data().data(),
+                           bias.defined() ? bias.data().data() : nullptr, out.data().data());
+  trace_op("conv_transpose2d", {&x, &weight, &bias}, out, [params]() -> OpKernel {
+    return [params](const float* const* in, float* o) {
+      conv_transpose2d_forward(params, in[0], in[1], in[2], o);
+    };
+  });
   return out;
 }
 

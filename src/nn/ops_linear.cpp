@@ -1,8 +1,25 @@
 #include <stdexcept>
 
+#include "nn/op_trace.hpp"
 #include "nn/ops.hpp"
 
 namespace laco::nn {
+namespace {
+
+void linear_forward(int n, int in, int out_f, const float* xd, const float* wd, const float* bd,
+                    float* y) {
+  for (int r = 0; r < n; ++r) {
+    const float* xrow = &xd[static_cast<std::size_t>(r) * in];
+    for (int o = 0; o < out_f; ++o) {
+      const float* wrow = &wd[static_cast<std::size_t>(o) * in];
+      float acc = bd != nullptr ? bd[static_cast<std::size_t>(o)] : 0.0f;
+      for (int c = 0; c < in; ++c) acc += xrow[c] * wrow[c];
+      y[static_cast<std::size_t>(r) * out_f + o] = acc;
+    }
+  }
+}
+
+}  // namespace
 
 Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
   if (x.shape().size() != 2 || weight.shape().size() != 2) {
@@ -56,15 +73,13 @@ Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
     }
   });
 
-  for (int r = 0; r < n; ++r) {
-    const float* xrow = &x.data()[static_cast<std::size_t>(r) * in];
-    for (int o = 0; o < out_f; ++o) {
-      const float* wrow = &weight.data()[static_cast<std::size_t>(o) * in];
-      float acc = bias.defined() ? bias.data()[static_cast<std::size_t>(o)] : 0.0f;
-      for (int c = 0; c < in; ++c) acc += xrow[c] * wrow[c];
-      out.data()[static_cast<std::size_t>(r) * out_f + o] = acc;
-    }
-  }
+  linear_forward(n, in, out_f, x.data().data(), weight.data().data(),
+                 bias.defined() ? bias.data().data() : nullptr, out.data().data());
+  trace_op("linear", {&x, &weight, &bias}, out, [n, in, out_f]() -> OpKernel {
+    return [n, in, out_f](const float* const* ins, float* o) {
+      linear_forward(n, in, out_f, ins[0], ins[1], ins[2], o);
+    };
+  });
   return out;
 }
 

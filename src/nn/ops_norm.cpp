@@ -2,9 +2,65 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nn/op_trace.hpp"
 #include "nn/ops.hpp"
 
 namespace laco::nn {
+namespace {
+
+// Shared between the eager forward and the traced plan kernel so
+// replay is bitwise-equal: statistics are recomputed from the input at
+// execution time with the same double accumulation.
+
+struct GroupNormParams {
+  int n, c, num_groups, cg;
+  std::size_t plane, group_size;
+  float eps;
+};
+
+void group_norm_stats(const GroupNormParams& p, const float* xd, float* means, float* inv_stds) {
+  for (int b = 0; b < p.n; ++b) {
+    for (int g = 0; g < p.num_groups; ++g) {
+      const std::size_t base =
+          (static_cast<std::size_t>(b) * p.c + static_cast<std::size_t>(g) * p.cg) * p.plane;
+      double m = 0.0;
+      for (std::size_t i = 0; i < p.group_size; ++i) m += xd[base + i];
+      m /= static_cast<double>(p.group_size);
+      double v = 0.0;
+      for (std::size_t i = 0; i < p.group_size; ++i) {
+        const double d = xd[base + i] - m;
+        v += d * d;
+      }
+      v /= static_cast<double>(p.group_size);
+      means[static_cast<std::size_t>(b) * p.num_groups + g] = static_cast<float>(m);
+      inv_stds[static_cast<std::size_t>(b) * p.num_groups + g] =
+          static_cast<float>(1.0 / std::sqrt(v + p.eps));
+    }
+  }
+}
+
+void group_norm_apply(const GroupNormParams& p, const float* xd, const float* gamma,
+                      const float* beta, const float* means, const float* inv_stds, float* y) {
+  for (int b = 0; b < p.n; ++b) {
+    for (int g = 0; g < p.num_groups; ++g) {
+      const std::size_t base =
+          (static_cast<std::size_t>(b) * p.c + static_cast<std::size_t>(g) * p.cg) * p.plane;
+      const float m = means[static_cast<std::size_t>(b) * p.num_groups + g];
+      const float is = inv_stds[static_cast<std::size_t>(b) * p.num_groups + g];
+      for (int cc = 0; cc < p.cg; ++cc) {
+        const int ch = g * p.cg + cc;
+        const float ga = gamma[static_cast<std::size_t>(ch)];
+        const float be = beta[static_cast<std::size_t>(ch)];
+        for (std::size_t i = 0; i < p.plane; ++i) {
+          const std::size_t idx = base + static_cast<std::size_t>(cc) * p.plane + i;
+          y[idx] = ga * (xd[idx] - m) * is + be;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Tensor group_norm(const Tensor& x, int num_groups, const Tensor& gamma, const Tensor& beta,
                   float eps) {
@@ -19,28 +75,13 @@ Tensor group_norm(const Tensor& x, int num_groups, const Tensor& gamma, const Te
   const int cg = c / num_groups;
   const std::size_t plane = static_cast<std::size_t>(h) * w;
   const std::size_t group_size = static_cast<std::size_t>(cg) * plane;
+  const GroupNormParams params{n, c, num_groups, cg, plane, group_size, eps};
 
   // Forward statistics, captured for the backward pass.
   std::vector<float> means(static_cast<std::size_t>(n) * num_groups);
   std::vector<float> inv_stds(static_cast<std::size_t>(n) * num_groups);
   const auto& xd = x.data();
-  for (int b = 0; b < n; ++b) {
-    for (int g = 0; g < num_groups; ++g) {
-      const std::size_t base = (static_cast<std::size_t>(b) * c + static_cast<std::size_t>(g) * cg) * plane;
-      double m = 0.0;
-      for (std::size_t i = 0; i < group_size; ++i) m += xd[base + i];
-      m /= static_cast<double>(group_size);
-      double v = 0.0;
-      for (std::size_t i = 0; i < group_size; ++i) {
-        const double d = xd[base + i] - m;
-        v += d * d;
-      }
-      v /= static_cast<double>(group_size);
-      means[static_cast<std::size_t>(b) * num_groups + g] = static_cast<float>(m);
-      inv_stds[static_cast<std::size_t>(b) * num_groups + g] =
-          static_cast<float>(1.0 / std::sqrt(v + eps));
-    }
-  }
+  group_norm_stats(params, xd.data(), means.data(), inv_stds.data());
 
   auto xi = x.impl();
   auto gi = gamma.impl();
@@ -93,24 +134,18 @@ Tensor group_norm(const Tensor& x, int num_groups, const Tensor& gamma, const Te
         }
       });
 
-  auto& y = out.data();
-  for (int b = 0; b < n; ++b) {
-    for (int g = 0; g < num_groups; ++g) {
-      const std::size_t base =
-          (static_cast<std::size_t>(b) * c + static_cast<std::size_t>(g) * cg) * plane;
-      const float m = means[static_cast<std::size_t>(b) * num_groups + g];
-      const float is = inv_stds[static_cast<std::size_t>(b) * num_groups + g];
-      for (int cc = 0; cc < cg; ++cc) {
-        const int ch = g * cg + cc;
-        const float ga = gamma.data()[static_cast<std::size_t>(ch)];
-        const float be = beta.data()[static_cast<std::size_t>(ch)];
-        for (std::size_t i = 0; i < plane; ++i) {
-          const std::size_t idx = base + static_cast<std::size_t>(cc) * plane + i;
-          y[idx] = ga * (xd[idx] - m) * is + be;
-        }
-      }
-    }
-  }
+  group_norm_apply(params, xd.data(), gamma.data().data(), beta.data().data(), means.data(),
+                   inv_stds.data(), out.data().data());
+  trace_op("group_norm", {&x, &gamma, &beta}, out, [params]() -> OpKernel {
+    return [params](const float* const* in, float* o) {
+      // Scratch for per-call statistics: local (not arena) so
+      // concurrent executions of the same plan never share state.
+      std::vector<float> k_means(static_cast<std::size_t>(params.n) * params.num_groups);
+      std::vector<float> k_inv_stds(k_means.size());
+      group_norm_stats(params, in[0], k_means.data(), k_inv_stds.data());
+      group_norm_apply(params, in[0], in[1], in[2], k_means.data(), k_inv_stds.data(), o);
+    };
+  });
   return out;
 }
 

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/op_trace.hpp"
 #include "nn/ops.hpp"
 
 namespace laco::nn {
@@ -20,6 +21,50 @@ Lerp lerp_coeff(int o, int out_size, int in_size) {
   const int i1 = std::min(i0 + 1, in_size - 1);
   const float t = clamped - static_cast<float>(i0);
   return {i0, i1, 1.0f - t, t};
+}
+
+// Forward loops shared by the eager path and traced plan kernels.
+
+void upsample_bilinear_forward(int n, int c, int h, int w, int out_h, int out_w, const float* xd,
+                               float* y) {
+  for (int oy = 0; oy < out_h; ++oy) {
+    const Lerp ly = lerp_coeff(oy, out_h, h);
+    for (int ox = 0; ox < out_w; ++ox) {
+      const Lerp lx = lerp_coeff(ox, out_w, w);
+      for (int b = 0; b < n; ++b) {
+        for (int ch = 0; ch < c; ++ch) {
+          const std::size_t in_base = (static_cast<std::size_t>(b) * c + ch) * h * w;
+          const std::size_t out_base = (static_cast<std::size_t>(b) * c + ch) * out_h * out_w;
+          y[out_base + static_cast<std::size_t>(oy) * out_w + ox] =
+              ly.w0 * (lx.w0 * xd[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i0] +
+                       lx.w1 * xd[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i1]) +
+              ly.w1 * (lx.w0 * xd[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i0] +
+                       lx.w1 * xd[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i1]);
+        }
+      }
+    }
+  }
+}
+
+void avg_pool2d_forward(int n, int c, int h, int w, int oh, int ow, int k, float inv,
+                        const float* xd, float* y) {
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const std::size_t ib = (static_cast<std::size_t>(b) * c + ch) * h * w;
+      const std::size_t ob = (static_cast<std::size_t>(b) * c + ch) * oh * ow;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int dy = 0; dy < k; ++dy) {
+            for (int dx = 0; dx < k; ++dx) {
+              acc += xd[ib + static_cast<std::size_t>(oy * k + dy) * w + ox * k + dx];
+            }
+          }
+          y[ob + static_cast<std::size_t>(oy) * ow + ox] = acc * inv;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -55,24 +100,12 @@ Tensor upsample_bilinear(const Tensor& x, int out_h, int out_w) {
         }
       });
 
-  for (int oy = 0; oy < out_h; ++oy) {
-    const Lerp ly = lerp_coeff(oy, out_h, h);
-    for (int ox = 0; ox < out_w; ++ox) {
-      const Lerp lx = lerp_coeff(ox, out_w, w);
-      for (int b = 0; b < n; ++b) {
-        for (int ch = 0; ch < c; ++ch) {
-          const std::size_t in_base = (static_cast<std::size_t>(b) * c + ch) * h * w;
-          const std::size_t out_base = (static_cast<std::size_t>(b) * c + ch) * out_h * out_w;
-          const auto& xd = x.data();
-          out.data()[out_base + static_cast<std::size_t>(oy) * out_w + ox] =
-              ly.w0 * (lx.w0 * xd[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i0] +
-                       lx.w1 * xd[in_base + static_cast<std::size_t>(ly.i0) * w + lx.i1]) +
-              ly.w1 * (lx.w0 * xd[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i0] +
-                       lx.w1 * xd[in_base + static_cast<std::size_t>(ly.i1) * w + lx.i1]);
-        }
-      }
-    }
-  }
+  upsample_bilinear_forward(n, c, h, w, out_h, out_w, x.data().data(), out.data().data());
+  trace_op("upsample_bilinear", {&x}, out, [n, c, h, w, out_h, out_w]() -> OpKernel {
+    return [n, c, h, w, out_h, out_w](const float* const* in, float* o) {
+      upsample_bilinear_forward(n, c, h, w, out_h, out_w, in[0], o);
+    };
+  });
   return out;
 }
 
@@ -108,23 +141,12 @@ Tensor avg_pool2d(const Tensor& x, int k) {
         }
       });
 
-  for (int b = 0; b < n; ++b) {
-    for (int ch = 0; ch < c; ++ch) {
-      const std::size_t ib = (static_cast<std::size_t>(b) * c + ch) * h * w;
-      const std::size_t ob = (static_cast<std::size_t>(b) * c + ch) * oh * ow;
-      for (int oy = 0; oy < oh; ++oy) {
-        for (int ox = 0; ox < ow; ++ox) {
-          float acc = 0.0f;
-          for (int dy = 0; dy < k; ++dy) {
-            for (int dx = 0; dx < k; ++dx) {
-              acc += x.data()[ib + static_cast<std::size_t>(oy * k + dy) * w + ox * k + dx];
-            }
-          }
-          out.data()[ob + static_cast<std::size_t>(oy) * ow + ox] = acc * inv;
-        }
-      }
-    }
-  }
+  avg_pool2d_forward(n, c, h, w, oh, ow, k, inv, x.data().data(), out.data().data());
+  trace_op("avg_pool2d", {&x}, out, [n, c, h, w, oh, ow, k, inv]() -> OpKernel {
+    return [n, c, h, w, oh, ow, k, inv](const float* const* in, float* o) {
+      avg_pool2d_forward(n, c, h, w, oh, ow, k, inv, in[0], o);
+    };
+  });
   return out;
 }
 

@@ -3,11 +3,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/op_trace.hpp"
+#include "obs/metrics.hpp"
+
 namespace laco::nn {
 
 namespace {
 thread_local bool g_grad_enabled = true;
+
+obs::Counter& tensor_alloc_counter() {
+  // MetricRegistry::reset() zeroes but never destroys instruments, so
+  // this reference stays valid for the process lifetime.
+  static obs::Counter& counter = obs::MetricRegistry::global().counter("nn.tensor.allocs");
+  return counter;
 }
+}  // namespace
+
+std::uint64_t tensor_alloc_count() { return tensor_alloc_counter().value(); }
 
 std::int64_t numel(const Shape& shape) {
   std::int64_t n = 1;
@@ -42,6 +54,7 @@ Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
   impl->shape = std::move(shape);
   impl->data.assign(static_cast<std::size_t>(n), value);
   impl->requires_grad = requires_grad;
+  tensor_alloc_counter().add();
   return Tensor(std::move(impl));
 }
 
@@ -53,6 +66,7 @@ Tensor Tensor::from_data(Shape shape, std::vector<float> values, bool requires_g
   impl->shape = std::move(shape);
   impl->data = std::move(values);
   impl->requires_grad = requires_grad;
+  tensor_alloc_counter().add();
   return Tensor(std::move(impl));
 }
 
@@ -80,6 +94,7 @@ Tensor Tensor::detach() const {
   impl->shape = impl_->shape;
   impl->data = impl_->data;  // value copy keeps graphs separable and safe
   impl->requires_grad = false;
+  tensor_alloc_counter().add();
   return Tensor(std::move(impl));
 }
 
@@ -88,6 +103,10 @@ Tensor Tensor::clone() const { return detach(); }
 Tensor make_op_output(Shape shape, std::vector<const Tensor*> inputs,
                       std::function<void(TensorImpl&)> backward_fn) {
   Tensor out = Tensor::zeros(std::move(shape));
+  // Tracing sees *every* op output, including ops that never call
+  // trace_op(); the plan compiler uses the mismatch to detect
+  // unsupported ops and fall back to eager execution.
+  if (OpTraceSink* sink = active_op_trace()) sink->note_output(out.impl());
   if (!grad_enabled()) return out;
   bool needs = false;
   for (const Tensor* in : inputs) {

@@ -1,0 +1,330 @@
+// Plan compiler: traces a tensor function once, classifies every
+// TensorImpl the trace touched (input / constant / intermediate),
+// runs a liveness pass over the node list and packs intermediates
+// into one arena with first-fit free-list reuse. See docs/PLAN.md.
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "plan/plan.hpp"
+#include "util/check.hpp"
+
+namespace laco::plan {
+
+namespace {
+
+/// Arena offsets are rounded to 16 floats (64 bytes, a cache line) so
+/// kernels never share a line across concurrently-written buffers.
+constexpr std::size_t kAlignFloats = 16;
+
+std::size_t align_up(std::size_t n) { return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats; }
+
+struct TraceRecord {
+  const char* op;
+  std::vector<std::shared_ptr<nn::TensorImpl>> inputs;
+  std::shared_ptr<nn::TensorImpl> output;
+  nn::OpKernel kernel;
+};
+
+/// Collects the op stream plus the set of all op outputs, so the
+/// compiler can detect "holes": tensors produced by ops with no
+/// replay kernel.
+class RecordingSink final : public nn::OpTraceSink {
+ public:
+  void note_output(const std::shared_ptr<nn::TensorImpl>& out) override {
+    noted_.push_back(out.get());
+  }
+
+  void record_op(const char* op, std::vector<std::shared_ptr<nn::TensorImpl>> inputs,
+                 const std::shared_ptr<nn::TensorImpl>& out, nn::OpKernel kernel) override {
+    records_.push_back(TraceRecord{op, std::move(inputs), out, std::move(kernel)});
+  }
+
+  std::vector<TraceRecord> records_;
+  std::vector<const nn::TensorImpl*> noted_;
+};
+
+/// First-fit free list over arena blocks, coalescing on release.
+class ArenaAllocator {
+ public:
+  std::size_t allocate(std::size_t floats) {
+    const std::size_t want = align_up(floats);
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size >= want) {
+        const std::size_t off = free_[i].offset;
+        free_[i].offset += want;
+        free_[i].size -= want;
+        if (free_[i].size == 0) free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+        return off;
+      }
+    }
+    const std::size_t off = end_;
+    end_ += want;
+    return off;
+  }
+
+  void release(std::size_t offset, std::size_t floats) {
+    free_.push_back({offset, align_up(floats)});
+    std::sort(free_.begin(), free_.end(),
+              [](const Block& a, const Block& b) { return a.offset < b.offset; });
+    for (std::size_t i = 0; i + 1 < free_.size();) {
+      if (free_[i].offset + free_[i].size == free_[i + 1].offset) {
+        free_[i].size += free_[i + 1].size;
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  std::size_t high_water() const { return end_; }
+
+ private:
+  struct Block {
+    std::size_t offset;
+    std::size_t size;
+  };
+  std::vector<Block> free_;
+  std::size_t end_ = 0;
+};
+
+struct ValueInfo {
+  enum Kind { kInput, kConstant, kIntermediate } kind = kIntermediate;
+  std::uint32_t index = 0;   ///< input/constant index
+  std::size_t size = 0;      ///< floats
+  int def = -1;              ///< producing node (intermediates)
+  int last_use = -1;         ///< last reading node
+  std::size_t offset = 0;    ///< arena offset (intermediates)
+  bool is_output = false;
+};
+
+}  // namespace
+
+/// Private-access builder: assembles Plan fields (friend of Plan).
+struct PlanBuilder {
+  static CompileResult build(const TracedFn& fn, const std::vector<nn::Tensor>& example_inputs);
+};
+
+CompileResult PlanBuilder::build(const TracedFn& fn,
+                                 const std::vector<nn::Tensor>& example_inputs) {
+  CompileResult result;
+
+  RecordingSink sink;
+  nn::Tensor traced;
+  {
+    nn::NoGradGuard no_grad;
+    nn::OpTraceScope scope(&sink);
+    try {
+      traced = fn(example_inputs);
+    } catch (const std::exception& e) {
+      result.error = std::string("plan: traced fn threw: ") + e.what();
+      return result;
+    }
+  }
+  if (!traced.defined()) {
+    result.error = "plan: traced fn returned an undefined tensor";
+    return result;
+  }
+  result.traced_output = traced;
+
+  // Hole detection: every tensor an op produced must belong to a
+  // recorded (replayable) node, or the plan would silently skip work.
+  {
+    std::map<const nn::TensorImpl*, bool> recorded;
+    for (const TraceRecord& r : sink.records_) recorded[r.output.get()] = true;
+    for (const nn::TensorImpl* impl : sink.noted_) {
+      if (!recorded.count(impl)) {
+        result.error = "plan: trace contains an op without replay support (unsupported op)";
+        return result;
+      }
+    }
+  }
+
+  auto plan = std::make_shared<Plan>();
+
+  // Classify every impl the trace touched.
+  std::map<const nn::TensorImpl*, ValueInfo> values;
+  for (std::size_t i = 0; i < example_inputs.size(); ++i) {
+    const nn::Tensor& t = example_inputs[i];
+    if (!t.defined()) {
+      result.error = "plan: undefined example input";
+      return result;
+    }
+    ValueInfo v;
+    v.kind = ValueInfo::kInput;
+    v.index = static_cast<std::uint32_t>(i);
+    v.size = t.data().size();
+    values[t.impl().get()] = v;
+    plan->input_shapes_.push_back(t.shape());
+  }
+
+  const auto classify_operand = [&](const std::shared_ptr<nn::TensorImpl>& impl) -> ValueInfo& {
+    auto it = values.find(impl.get());
+    if (it != values.end()) return it->second;
+    // First sighting and not an op output: a captured constant
+    // (frozen weight / precomputed buffer). Anchor it for the plan's
+    // lifetime.
+    ValueInfo v;
+    v.kind = ValueInfo::kConstant;
+    v.index = static_cast<std::uint32_t>(plan->constants_.size());
+    v.size = impl->data.size();
+    plan->constants_.push_back(impl);
+    plan->constant_ptrs_.push_back(impl->data.data());
+    return values.emplace(impl.get(), v).first->second;
+  };
+
+  // Walk the records (already in execution = topological order),
+  // registering nodes and computing liveness.
+  for (std::size_t ni = 0; ni < sink.records_.size(); ++ni) {
+    TraceRecord& rec = sink.records_[ni];
+    PlanNode node;
+    node.op = rec.op;
+    node.kernel = std::move(rec.kernel);
+    node.inputs.reserve(rec.inputs.size());
+    for (const auto& in : rec.inputs) {
+      if (!in) {
+        node.inputs.push_back(Binding{BindKind::kUndefined, 0, 0});
+        continue;
+      }
+      ValueInfo& v = classify_operand(in);
+      if (v.kind == ValueInfo::kIntermediate && v.def < 0) {
+        result.error = "plan: node reads a tensor produced after it (non-topological trace)";
+        return result;
+      }
+      v.last_use = static_cast<int>(ni);
+      Binding b;
+      switch (v.kind) {
+        case ValueInfo::kInput:
+          b = Binding{BindKind::kInput, v.index, 0};
+          break;
+        case ValueInfo::kConstant:
+          b = Binding{BindKind::kConstant, v.index, 0};
+          break;
+        case ValueInfo::kIntermediate:
+          // Offset patched after the liveness pass below.
+          b = Binding{BindKind::kArena, 0, 0};
+          break;
+      }
+      node.inputs.push_back(b);
+    }
+    plan->max_operands_ = std::max(plan->max_operands_, node.inputs.size());
+
+    ValueInfo out_v;
+    out_v.kind = ValueInfo::kIntermediate;
+    out_v.size = rec.output->data.size();
+    out_v.def = static_cast<int>(ni);
+    out_v.last_use = static_cast<int>(ni);
+    if (values.count(rec.output.get())) {
+      result.error = "plan: op output aliases an existing tensor";
+      return result;
+    }
+    values[rec.output.get()] = out_v;
+    plan->nodes_.push_back(std::move(node));
+  }
+
+  // The returned value: either a node output (bound straight to the
+  // caller's output buffer) or a passthrough of an input/constant.
+  {
+    auto it = values.find(traced.impl().get());
+    if (it == values.end()) {
+      // fn returned a tensor created outside the trace: capture it as
+      // a constant and copy it out on every execution.
+      ValueInfo& v = classify_operand(traced.impl());
+      plan->passthrough_ = true;
+      plan->passthrough_src_ = Binding{BindKind::kConstant, v.index, 0};
+    } else if (it->second.kind != ValueInfo::kIntermediate) {
+      plan->passthrough_ = true;
+      plan->passthrough_src_ =
+          it->second.kind == ValueInfo::kInput
+              ? Binding{BindKind::kInput, it->second.index, 0}
+              : Binding{BindKind::kConstant, it->second.index, 0};
+    } else {
+      it->second.is_output = true;
+    }
+  }
+  plan->output_shape_ = traced.shape();
+  plan->output_numel_ = traced.numel();
+
+  // Liveness/offset pass: walk nodes in order, placing each
+  // intermediate output with first-fit reuse and releasing buffers at
+  // their last use. The output value never lands in the arena — it is
+  // bound directly to the caller's buffer.
+  {
+    // def-node -> impl of the value it produces (reverse index).
+    std::vector<const nn::TensorImpl*> def_impl(plan->nodes_.size(), nullptr);
+    for (const auto& [impl, v] : values) {
+      if (v.kind == ValueInfo::kIntermediate && v.def >= 0) {
+        def_impl[static_cast<std::size_t>(v.def)] = impl;
+      }
+    }
+    ArenaAllocator arena;
+    for (std::size_t ni = 0; ni < plan->nodes_.size(); ++ni) {
+      const nn::TensorImpl* out_impl = def_impl[ni];
+      LACO_CHECK(out_impl != nullptr);
+      ValueInfo& out_v = values[out_impl];
+      if (out_v.is_output) {
+        plan->nodes_[ni].output = Binding{BindKind::kOutput, 0, 0};
+      } else {
+        out_v.offset = arena.allocate(out_v.size);
+        plan->nodes_[ni].output = Binding{BindKind::kArena, 0, out_v.offset};
+        plan->spans_.push_back(ArenaSpan{out_v.offset, out_v.size, out_v.def, out_v.last_use});
+      }
+      // Patch this node's arena operand offsets (their producers ran
+      // earlier, so offsets are final by now).
+      {
+        const TraceRecord& rec = sink.records_[ni];
+        PlanNode& node = plan->nodes_[ni];
+        for (std::size_t oi = 0; oi < node.inputs.size(); ++oi) {
+          if (node.inputs[oi].kind != BindKind::kArena) continue;
+          const ValueInfo& v = values[rec.inputs[oi].get()];
+          if (v.is_output) {
+            node.inputs[oi] = Binding{BindKind::kOutput, 0, 0};
+          } else {
+            node.inputs[oi].offset = v.offset;
+          }
+        }
+      }
+      // Release buffers whose last use is this node (inputs that die
+      // here, and this output if nothing ever reads it).
+      for (const auto& in : sink.records_[ni].inputs) {
+        if (!in) continue;
+        const ValueInfo& v = values[in.get()];
+        if (v.kind == ValueInfo::kIntermediate && !v.is_output &&
+            v.last_use == static_cast<int>(ni) && v.def != static_cast<int>(ni)) {
+          arena.release(v.offset, v.size);
+        }
+      }
+      if (!out_v.is_output && out_v.last_use == static_cast<int>(ni)) {
+        arena.release(out_v.offset, out_v.size);
+      }
+    }
+    plan->arena_floats_ = arena.high_water();
+  }
+
+  // Fix the spans' last_use for values read by later nodes (the map
+  // entries were final, but spans_ were pushed at def time with the
+  // then-current last_use — refresh from the final table).
+  for (ArenaSpan& span : plan->spans_) {
+    for (const auto& [impl, v] : values) {
+      if (v.kind == ValueInfo::kIntermediate && v.def == span.def) {
+        span.last_use = v.last_use;
+        break;
+      }
+    }
+  }
+
+  // Observability: arena high-water mark across all compiled plans.
+  obs::MetricRegistry::global().gauge("plan.arena_bytes").record_max(
+      static_cast<double>(plan->arena_floats_ * sizeof(float)));
+
+  result.plan = std::move(plan);
+  return result;
+}
+
+CompileResult compile(const TracedFn& fn, const std::vector<nn::Tensor>& example_inputs) {
+  return PlanBuilder::build(fn, example_inputs);
+}
+
+}  // namespace laco::plan

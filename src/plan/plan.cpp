@@ -1,0 +1,48 @@
+// Workspace sizing and the allocating convenience wrapper around the
+// allocation-free executor (src/plan/executor.cpp).
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "plan/plan.hpp"
+
+namespace laco::plan {
+
+namespace {
+obs::Counter& executions_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter("plan.executions");
+  return c;
+}
+}  // namespace
+
+void Workspace::prepare(const Plan& plan) {
+  if (arena_.size() < plan.arena_floats_) arena_.resize(plan.arena_floats_);
+  if (operand_scratch_.size() < plan.max_operands_) operand_scratch_.resize(plan.max_operands_);
+  if (input_scratch_.size() < plan.input_shapes_.size()) {
+    input_scratch_.resize(plan.input_shapes_.size());
+  }
+}
+
+nn::Tensor Plan::run(const std::vector<nn::Tensor>& inputs, Workspace& ws) const {
+  if (inputs.size() != input_shapes_.size()) {
+    throw std::invalid_argument("Plan::run: expected " + std::to_string(input_shapes_.size()) +
+                                " inputs, got " + std::to_string(inputs.size()));
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!inputs[i].defined() || inputs[i].shape() != input_shapes_[i]) {
+      throw std::invalid_argument("Plan::run: input " + std::to_string(i) +
+                                  " shape mismatch (plans are shape-specialized; key cache "
+                                  "lookups by shape)");
+    }
+  }
+  ws.prepare(*this);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ws.input_scratch_[i] = inputs[i].data().data();
+  }
+  // The plan path's single per-forward allocation: the output tensor.
+  nn::Tensor out = nn::Tensor::zeros(output_shape_);
+  execute(ws.input_scratch_.data(), out.data().data(), ws);
+  executions_counter().add();
+  return out;
+}
+
+}  // namespace laco::plan

@@ -1,0 +1,148 @@
+#include "plan/plan_cache.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace laco::plan {
+
+namespace {
+
+std::atomic<bool> g_plans_enabled{true};
+
+struct CacheMetrics {
+  obs::Counter& hits = obs::MetricRegistry::global().counter("plan.cache.hits");
+  obs::Counter& misses = obs::MetricRegistry::global().counter("plan.cache.misses");
+  obs::Counter& evictions = obs::MetricRegistry::global().counter("plan.cache.evictions");
+  obs::Counter& compile_failures =
+      obs::MetricRegistry::global().counter("plan.compile.failures");
+  obs::Gauge& size = obs::MetricRegistry::global().gauge("plan.cache.size");
+  obs::Histogram& compile_ms = obs::MetricRegistry::global().histogram("plan.compile_ms");
+};
+
+CacheMetrics& metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
+
+std::vector<int> shape_signature(const std::vector<nn::Tensor>& inputs) {
+  std::vector<int> dims;
+  for (const nn::Tensor& t : inputs) {
+    dims.push_back(static_cast<int>(t.shape().size()));
+    for (const int d : t.shape()) dims.push_back(d);
+  }
+  return dims;
+}
+
+PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {}
+
+std::shared_ptr<const Plan> PlanCache::get_or_compile(const PlanKey& key,
+                                                      std::shared_ptr<const void> anchor,
+                                                      const CompileFn& compile_fn) {
+  MutexLock lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    it->second.last_used = ++tick_;
+    metrics().hits.add();
+    return it->second.plan;  // may be null: cached fallback decision
+  }
+  const auto pending_it = pending_.find(key);
+  if (pending_it != pending_.end()) {
+    // A coalesced wait counts as a hit: someone else's compile serves
+    // this caller, so hits + misses == lookups holds.
+    ++stats_.hits;
+    metrics().hits.add();
+    auto future = pending_it->second;
+    lock.unlock();
+    // Coalesced wait; compile failures surface as a null plan, never
+    // an exception, so no rethrow path is needed here.
+    return future.get();
+  }
+
+  // Become the compiler for this key.
+  std::promise<std::shared_ptr<const Plan>> promise;
+  pending_.emplace(key, promise.get_future().share());
+  ++stats_.misses;
+  metrics().misses.add();
+  lock.unlock();
+
+  const auto start = std::chrono::steady_clock::now();
+  CompileResult compiled = compile_fn();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  metrics().compile_ms.observe(elapsed_ms);
+  if (!compiled.plan) {
+    metrics().compile_failures.add();
+    LACO_LOG_WARN << "plan: compile failed, caching eager fallback: " << compiled.error;
+  }
+
+  lock.lock();
+  if (!compiled.plan) ++stats_.compile_failures;
+  Entry entry;
+  entry.plan = compiled.plan;
+  entry.anchor = std::move(anchor);
+  entry.last_used = ++tick_;
+  entries_[key] = std::move(entry);
+  evict_locked();
+  stats_.size = entries_.size();
+  metrics().size.set(static_cast<double>(entries_.size()));
+  pending_.erase(key);
+  lock.unlock();
+  promise.set_value(compiled.plan);
+  return compiled.plan;
+}
+
+void PlanCache::invalidate(const void* identity) {
+  MutexLock lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.identity == identity) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.size = entries_.size();
+  metrics().size.set(static_cast<double>(entries_.size()));
+}
+
+void PlanCache::clear() {
+  MutexLock lock(mutex_);
+  entries_.clear();
+  stats_.size = 0;
+  metrics().size.set(0.0);
+}
+
+PlanCacheStats PlanCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::evict_locked() {
+  while (entries_.size() > config_.max_plans) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+    metrics().evictions.add();
+  }
+}
+
+PlanCache& shared_plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+bool plans_enabled() { return g_plans_enabled.load(std::memory_order_relaxed); }
+void set_plans_enabled(bool enabled) {
+  g_plans_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace laco::plan

@@ -5,9 +5,44 @@
 #include <stdexcept>
 
 #include "nn/ops.hpp"
+#include "plan/plan_cache.hpp"
 #include "util/failpoint.hpp"
 
 namespace laco::serve {
+
+namespace {
+
+/// Compiled-plan fast path for one stacked batch: looks up (or
+/// compiles) the plan for this (network, kind, shape) and replays it.
+/// Returns an undefined tensor when plans are disabled or compilation
+/// fell back (unsupported op) — the caller then runs eagerly.
+nn::Tensor try_plan_forward(const LacoModels& models,
+                            const std::shared_ptr<const LacoModels>& anchor, ModelKind kind,
+                            const nn::Tensor& stacked) {
+  if (!plan::plans_enabled()) return nn::Tensor();
+  const void* identity = kind == ModelKind::kCongestion
+                             ? static_cast<const void*>(models.congestion.get())
+                             : static_cast<const void*>(models.lookahead.get());
+  plan::PlanKey key{identity, static_cast<int>(kind), plan::shape_signature({stacked})};
+  auto plan_ptr = plan::shared_plan_cache().get_or_compile(
+      key, std::static_pointer_cast<const void>(anchor), [&]() {
+        return plan::compile(
+            [&models, kind](const std::vector<nn::Tensor>& in) {
+              nn::NoGradGuard guard;  // compile() guards too; keep it explicit
+              return kind == ModelKind::kCongestion
+                         ? models.congestion->forward(in[0])
+                         : models.lookahead->forward(in[0]).prediction;
+            },
+            {stacked});
+      });
+  if (!plan_ptr) return nn::Tensor();
+  // Per-worker workspace: reused across batches, so steady-state plan
+  // forwards allocate only the output tensor.
+  thread_local plan::Workspace workspace;
+  return plan_ptr->run({stacked}, workspace);
+}
+
+}  // namespace
 
 const char* to_string(ModelKind kind) {
   switch (kind) {
@@ -85,11 +120,18 @@ nn::Tensor forward_batch(const Batch& batch) {
   const nn::Tensor stacked = nn::stack_batch(inputs);
 
   const LacoModels& models = *batch.items.front().models;
-  if (batch.items.front().kind == ModelKind::kCongestion) {
-    if (!models.congestion) throw std::runtime_error("forward_batch: model set has no f");
-    return models.congestion->forward(stacked);
+  const ModelKind kind = batch.items.front().kind;
+  if (kind == ModelKind::kCongestion && !models.congestion) {
+    throw std::runtime_error("forward_batch: model set has no f");
   }
-  if (!models.lookahead) throw std::runtime_error("forward_batch: model set has no g");
+  if (kind == ModelKind::kLookAhead && !models.lookahead) {
+    throw std::runtime_error("forward_batch: model set has no g");
+  }
+
+  nn::Tensor planned = try_plan_forward(models, batch.items.front().models, kind, stacked);
+  if (planned.defined()) return planned;
+
+  if (kind == ModelKind::kCongestion) return models.congestion->forward(stacked);
   return models.lookahead->forward(stacked).prediction;
 }
 

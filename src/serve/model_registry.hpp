@@ -19,6 +19,7 @@
 #include <string>
 
 #include "laco/congestion_penalty.hpp"
+#include "plan/plan_cache.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -58,6 +59,12 @@ class ModelRegistry {
 
   /// Drops every cached entry (in-flight shared_ptrs stay valid).
   void clear() LACO_EXCLUDES(mutex_);
+
+  /// The compiled-plan cache hanging off this registry: plans for a
+  /// model set are invalidated when the set is evicted or cleared, so
+  /// a reloaded model can never hit a stale plan via pointer reuse.
+  /// (Process-wide: all registries share plan::shared_plan_cache().)
+  plan::PlanCache& plan_cache() const { return plan::shared_plan_cache(); }
 
   const RegistryConfig& config() const { return config_; }
 

@@ -1,0 +1,16 @@
+// Fixture: allocating constructs inside the plan executor hot path.
+// Linted under the relpath src/plan/executor_fixture.cpp, each line in
+// hot() below must trip the plan-hot-alloc rule exactly once.
+#include <memory>
+#include <vector>
+
+void hot(std::vector<float>& arena) {
+  auto t = laco::nn::Tensor::zeros({1, 3, 4, 4});
+  auto w = laco::nn::Tensor::full({4}, 0.5f);
+  auto owner = std::make_shared<float>(1.0f);
+  auto box = std::make_unique<float>(2.0f);
+  arena.push_back(1.0f);
+  arena.emplace_back(2.0f);
+  arena.resize(64);
+  arena.reserve(128);
+}

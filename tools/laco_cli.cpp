@@ -24,12 +24,14 @@
 //
 //   laco serve [--models DIR] [--threads N] [--batch B] [--linger MS]
 //              [--requests R] [--clients C] [--grid G] [--kind K]
-//              [--stats-every-ms N]
+//              [--stats-every-ms N] [--no-plan]
 //       Stands up the resident batched inference service, drives a
 //       synthetic request load against it (from C client threads), and
 //       prints a throughput / latency / batching report against the
 //       single-threaded unbatched baseline. Without --models a random
 //       demo model set is used (throughput only, no trained weights).
+//       --no-plan disables the compiled-plan fast path (docs/PLAN.md)
+//       so forwards run eagerly — for A/B checks and bisection.
 //
 //   laco serve --chaos RATE [--requests R] [--clients C] [--retries N]
 //              [--seed K] [...]
@@ -64,6 +66,7 @@
 #include "netlist/svg_plot.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "plan/plan_cache.hpp"
 #include "serve/errors.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/service.hpp"
@@ -100,6 +103,12 @@ Args parse_args(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
+      // Boolean flags take no value; anything else would swallow the
+      // next token.
+      if (a == "--no-plan") {
+        args.options["no-plan"] = "1";
+        continue;
+      }
       // Both spellings: --key value and --key=value.
       const std::size_t eq = a.find('=');
       if (eq != std::string::npos) {
@@ -436,6 +445,7 @@ int run_chaos(const Args& args, double rate) {
 }
 
 int cmd_serve(const Args& args) {
+  if (args.get_int("no-plan", 0) != 0) plan::set_plans_enabled(false);
   const double chaos = args.get_double("chaos", 0.0);
   if (chaos > 0.0) return run_chaos(args, chaos);
 
@@ -514,8 +524,9 @@ int cmd_serve(const Args& args) {
         while (!stats_stop.load(std::memory_order_relaxed)) {
           std::this_thread::sleep_for(std::chrono::milliseconds(stats_every_ms));
           if (stats_stop.load(std::memory_order_relaxed)) break;
+          const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
           std::cout << "-- serve stats --\n"
-                    << obs::MetricRegistry::global().snapshot().to_string("serve.");
+                    << snap.to_string("serve.") << snap.to_string("plan.");
         }
       });
     }
@@ -567,8 +578,9 @@ int cmd_serve(const Args& args) {
             << "latency ms: p50 " << serve::percentile(latencies, 50.0) << ", p99 "
             << serve::percentile(latencies, 99.0) << "\n"
             << "batched vs sequential max |diff|: " << max_err << '\n'
-            << "-- serve stats (final) --\n"
-            << obs::MetricRegistry::global().snapshot().to_string("serve.");
+            << "-- serve stats (final) --\n";
+  const obs::MetricsSnapshot final_snap = obs::MetricRegistry::global().snapshot();
+  std::cout << final_snap.to_string("serve.") << final_snap.to_string("plan.");
   return max_err <= 1e-5 ? 0 : 1;
 }
 
