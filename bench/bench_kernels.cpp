@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "features/feature_stack.hpp"
+#include "features/macro_region.hpp"
+#include "features/pin_rudy.hpp"
+#include "features/rudy.hpp"
 #include "netlist/ispd2015_suite.hpp"
 #include "nn/autograd.hpp"
 #include "nn/ops.hpp"

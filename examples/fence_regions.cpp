@@ -8,6 +8,8 @@
 #include <iostream>
 
 #include "netlist/design_stats.hpp"
+#include "placer/detailed_placer.hpp"
+#include "placer/legalizer.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/svg_plot.hpp"
 #include "placer/abacus.hpp"

@@ -1,8 +1,10 @@
 #!/bin/bash
 # Regenerates every experiment: one bench binary per paper table/figure.
-# Ordered paper-critical-first. Writes bench_output.txt and CSVs.
+# Ordered paper-critical-first. Every binary runs from build/, so all
+# artifacts (bench_output.txt, BENCH_*.json, CSVs) land in build/ and
+# never dirty the repo root.
 #
-#   --check-baseline   After the run, diff every fresh BENCH_*.json
+#   --check-baseline   After the run, diff every fresh build/BENCH_*.json
 #                      against its committed twin under bench/baselines/
 #                      with laco-bench-check (warn-only drift report;
 #                      see docs/OBSERVABILITY.md).
@@ -19,12 +21,13 @@ bench_fig1_distribution_shift bench_fig3_cellflow bench_fig8_runtime \
 bench_quasivox_ablation bench_lookahead_horizon bench_history_frames \
 bench_eta_sweep bench_inflation_baseline bench_wirelength_models \
 bench_serve_throughput bench_kernels"
+cd build || { echo "run_benches.sh: no build/ directory (configure first)" >&2; exit 2; }
 {
   for name in $ORDER; do
     echo
     echo "########## $name ##########"
     echo
-    "build/bench/$name"
+    "bench/$name"
   done
 } > bench_output.txt 2>&1
 echo "machine-readable reports (laco-bench schema, docs/OBSERVABILITY.md):"
@@ -34,9 +37,9 @@ if [ "$CHECK_BASELINE" = 1 ]; then
   echo "baseline drift (bench/baselines/, warn-only):"
   for report in BENCH_*.json; do
     [ -e "$report" ] || continue
-    baseline="bench/baselines/$report"
+    baseline="../bench/baselines/$report"
     if [ -e "$baseline" ]; then
-      build/tools/laco-bench-check "$report" "$baseline"
+      tools/laco-bench-check "$report" "$baseline"
     else
       echo "  $report: no baseline committed (add one under bench/baselines/)"
     fi

@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "features/macro_region.hpp"
+#include "features/pin_rudy.hpp"
+#include "features/rudy.hpp"
+
 namespace laco {
 
 const GridMap& FeatureFrame::channel(int c) const {

@@ -9,9 +9,6 @@
 #include <vector>
 
 #include "features/cell_flow.hpp"
-#include "features/macro_region.hpp"
-#include "features/pin_rudy.hpp"
-#include "features/rudy.hpp"
 #include "gridmap/grid_map.hpp"
 #include "netlist/design.hpp"
 

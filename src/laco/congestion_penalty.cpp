@@ -30,6 +30,7 @@ void freeze(nn::Module& module) {
   }
 }
 
+// LACO_DETERMINISTIC: gradient-norm reduction in index order
 double abs_sum(const std::vector<double>& a, const std::vector<double>& b) {
   double s = 0.0;
   for (const double v : a) s += std::abs(v);

@@ -1,5 +1,7 @@
 #include "models/congestion_fcn.hpp"
 
+#include "nn/ops.hpp"
+
 namespace laco {
 
 CongestionFcn::CongestionFcn(CongestionFcnConfig config)

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace laco {
 namespace {
 

@@ -19,7 +19,6 @@
 #include <string>
 
 #include "netlist/design.hpp"
-#include "util/rng.hpp"
 
 namespace laco {
 

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "nn/autograd.hpp"
+#include "nn/ops.hpp"
 
 namespace laco::nn {
 

@@ -5,7 +5,6 @@
 #pragma once
 
 #include "nn/module.hpp"
-#include "nn/ops.hpp"
 
 namespace laco::nn {
 

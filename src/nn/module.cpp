@@ -4,7 +4,7 @@
 
 namespace laco::nn {
 
-Tensor Module::register_parameter(std::string name, Tensor tensor) {
+Tensor Module::register_parameter(std::string name, Tensor tensor) {  // analyze-ok(tensor-by-value): sink
   tensor.set_requires_grad(true);
   params_.emplace_back(std::move(name), tensor);
   return tensor;

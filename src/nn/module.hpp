@@ -30,7 +30,7 @@ class Module {
 
  protected:
   /// Registers and returns a trainable parameter.
-  Tensor register_parameter(std::string name, Tensor tensor);
+  Tensor register_parameter(std::string name, Tensor tensor);  // analyze-ok(tensor-by-value): sink, moved into params_
   /// Registers a child whose parameters are exposed under `name.`.
   void register_module(std::string name, Module* child);
 

@@ -90,6 +90,7 @@ double DensityModel::overflow(const Design& design) const {
   const double movable_area = design.total_movable_area();
   if (movable_area <= 0.0) return 0.0;
   double excess = 0.0;
+  // LACO_DETERMINISTIC: overflow reduction in bin index order
   for (std::size_t i = 0; i < movable_density_.size(); ++i) {
     excess += std::max(0.0, movable_density_[i] - capacity_[i]);
   }

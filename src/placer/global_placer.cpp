@@ -6,6 +6,7 @@
 #include "obs/trace.hpp"
 #include "placer/nesterov.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace laco {
 namespace {

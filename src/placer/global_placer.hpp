@@ -16,7 +16,6 @@
 #include "netlist/design.hpp"
 #include "placer/density.hpp"
 #include "placer/wirelength.hpp"
-#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace laco {

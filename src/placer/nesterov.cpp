@@ -21,6 +21,7 @@ double NesterovOptimizer::step(const std::vector<double>& grad_x,
   double alpha = initial_step_;
   if (have_prev_) {
     double dv2 = 0.0, dg2 = 0.0;
+    // LACO_DETERMINISTIC: BB step-length reduction in cell index order
     for (std::size_t i = 0; i < ux_.size(); ++i) {
       const double dvx = vx_[i] - prev_vx_[i];
       const double dvy = vy_[i] - prev_vy_[i];

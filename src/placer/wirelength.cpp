@@ -81,6 +81,7 @@ double WirelengthModel::evaluate_with_grad(const Design& design, std::vector<dou
   }
   double total = 0.0;
   std::vector<double> px, py, dx, dy;
+  // LACO_DETERMINISTIC: per-net reduction in netlist index order
   for (const Net& net : design.nets()) {
     if (net.degree() < 2) continue;
     const std::size_t deg = net.pins.size();

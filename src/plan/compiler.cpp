@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "plan/plan.hpp"
+#include "plan/verifier.hpp"
 #include "util/check.hpp"
 
 namespace laco::plan {
@@ -185,7 +186,7 @@ CompileResult PlanBuilder::build(const TracedFn& fn,
     node.inputs.reserve(rec.inputs.size());
     for (const auto& in : rec.inputs) {
       if (!in) {
-        node.inputs.push_back(Binding{BindKind::kUndefined, 0, 0});
+        node.inputs.push_back(Binding{BindKind::kUndefined, 0, 0, 0});
         continue;
       }
       ValueInfo& v = classify_operand(in);
@@ -197,14 +198,14 @@ CompileResult PlanBuilder::build(const TracedFn& fn,
       Binding b;
       switch (v.kind) {
         case ValueInfo::kInput:
-          b = Binding{BindKind::kInput, v.index, 0};
+          b = Binding{BindKind::kInput, v.index, 0, v.size};
           break;
         case ValueInfo::kConstant:
-          b = Binding{BindKind::kConstant, v.index, 0};
+          b = Binding{BindKind::kConstant, v.index, 0, v.size};
           break;
         case ValueInfo::kIntermediate:
           // Offset patched after the liveness pass below.
-          b = Binding{BindKind::kArena, 0, 0};
+          b = Binding{BindKind::kArena, 0, 0, v.size};
           break;
       }
       node.inputs.push_back(b);
@@ -233,13 +234,13 @@ CompileResult PlanBuilder::build(const TracedFn& fn,
       // a constant and copy it out on every execution.
       ValueInfo& v = classify_operand(traced.impl());
       plan->passthrough_ = true;
-      plan->passthrough_src_ = Binding{BindKind::kConstant, v.index, 0};
+      plan->passthrough_src_ = Binding{BindKind::kConstant, v.index, 0, v.size};
     } else if (it->second.kind != ValueInfo::kIntermediate) {
       plan->passthrough_ = true;
       plan->passthrough_src_ =
           it->second.kind == ValueInfo::kInput
-              ? Binding{BindKind::kInput, it->second.index, 0}
-              : Binding{BindKind::kConstant, it->second.index, 0};
+              ? Binding{BindKind::kInput, it->second.index, 0, it->second.size}
+              : Binding{BindKind::kConstant, it->second.index, 0, it->second.size};
     } else {
       it->second.is_output = true;
     }
@@ -265,10 +266,10 @@ CompileResult PlanBuilder::build(const TracedFn& fn,
       LACO_CHECK(out_impl != nullptr);
       ValueInfo& out_v = values[out_impl];
       if (out_v.is_output) {
-        plan->nodes_[ni].output = Binding{BindKind::kOutput, 0, 0};
+        plan->nodes_[ni].output = Binding{BindKind::kOutput, 0, 0, out_v.size};
       } else {
         out_v.offset = arena.allocate(out_v.size);
-        plan->nodes_[ni].output = Binding{BindKind::kArena, 0, out_v.offset};
+        plan->nodes_[ni].output = Binding{BindKind::kArena, 0, out_v.offset, out_v.size};
         plan->spans_.push_back(ArenaSpan{out_v.offset, out_v.size, out_v.def, out_v.last_use});
       }
       // Patch this node's arena operand offsets (their producers ran
@@ -280,7 +281,7 @@ CompileResult PlanBuilder::build(const TracedFn& fn,
           if (node.inputs[oi].kind != BindKind::kArena) continue;
           const ValueInfo& v = values[rec.inputs[oi].get()];
           if (v.is_output) {
-            node.inputs[oi] = Binding{BindKind::kOutput, 0, 0};
+            node.inputs[oi] = Binding{BindKind::kOutput, 0, 0, v.size};
           } else {
             node.inputs[oi].offset = v.offset;
           }
@@ -318,6 +319,23 @@ CompileResult PlanBuilder::build(const TracedFn& fn,
   // Observability: arena high-water mark across all compiled plans.
   obs::MetricRegistry::global().gauge("plan.arena_bytes").record_max(
       static_cast<double>(plan->arena_floats_ * sizeof(float)));
+
+  // Post-compile verification (Debug / -DLACO_PLAN_VERIFY builds, see
+  // src/plan/verifier.hpp): a plan that fails its own static checks is
+  // dropped with a diagnostic, so callers fall back to the eager path
+  // instead of executing a miscompiled node list. Compile-time only —
+  // Release execution latency is untouched.
+  if (verify_enabled()) {
+    auto& metrics = obs::MetricRegistry::global();
+    metrics.counter("plan.verify.runs").add(1);
+    const VerifyReport report = verify(*plan);
+    if (!report.ok()) {
+      metrics.counter("plan.verify.failures").add(1);
+      metrics.counter("plan.verify.issues").add(report.issues.size());
+      result.error = "plan: verifier rejected compiled plan:\n" + report.str();
+      return result;
+    }
+  }
 
   result.plan = std::move(plan);
   return result;

@@ -41,6 +41,11 @@ struct Binding {
   BindKind kind = BindKind::kUndefined;
   std::uint32_t index = 0;  ///< input index (kInput) or constant index (kConstant)
   std::size_t offset = 0;   ///< arena offset in floats (kArena)
+  /// Element count of the bound buffer, recorded at compile time from
+  /// the traced tensor. Not needed to execute (kernels know their
+  /// shapes); the plan verifier checks it against what the binding
+  /// points at (src/plan/verifier.hpp).
+  std::size_t numel = 0;
 };
 
 struct PlanNode {
@@ -105,7 +110,9 @@ class Plan {
 
  private:
   friend class Workspace;
-  friend struct PlanBuilder;  // compiler.cpp
+  friend struct PlanBuilder;   // compiler.cpp
+  friend struct PlanVerifier;  // verifier.cpp (read-only checks)
+  friend struct PlanSurgeon;   // verifier.hpp (test-only corruption)
 
   std::vector<PlanNode> nodes_;
   /// Keep-alive anchors for captured weights/buffers, parallel to

@@ -1,0 +1,272 @@
+// Plan IR verifier implementation. Every check is pure inspection of
+// the Plan's compiled tables; see verifier.hpp for the invariant
+// catalogue and docs/PLAN.md for the IR itself.
+#include "plan/verifier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace laco::plan {
+
+namespace {
+
+std::int64_t shape_numel(const nn::Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) n *= d;
+  return n;
+}
+
+bool default_verify_enabled() {
+  if (const char* env = std::getenv("LACO_PLAN_VERIFY")) {
+    return env[0] != '0';
+  }
+#if defined(LACO_PLAN_VERIFY) || !defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& verify_flag() {
+  static std::atomic<bool> enabled{default_verify_enabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool verify_enabled() { return verify_flag().load(std::memory_order_relaxed); }
+void set_verify_enabled(bool enabled) {
+  verify_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::string VerifyIssue::str() const {
+  std::string out = check;
+  if (node >= 0) out += "@node" + std::to_string(node);
+  return out + ": " + detail;
+}
+
+std::string VerifyReport::str() const {
+  std::string out;
+  for (const VerifyIssue& issue : issues) {
+    if (!out.empty()) out += '\n';
+    out += "  " + issue.str();
+  }
+  return out;
+}
+
+/// Friend of Plan: the actual checks, reading private tables directly.
+struct PlanVerifier {
+  static VerifyReport run(const Plan& p) {
+    VerifyReport r;
+    const auto issue = [&](const char* check, int node, std::string detail) {
+      r.issues.push_back(VerifyIssue{check, node, std::move(detail)});
+    };
+    const auto check = [&](bool ok, const char* check_id, int node,
+                           const std::function<std::string()>& detail) {
+      ++r.checks_run;
+      if (!ok) issue(check_id, node, detail());
+    };
+    const int num_nodes = static_cast<int>(p.nodes_.size());
+
+    // --- plan-level structure -----------------------------------------
+    check(p.output_numel_ == shape_numel(p.output_shape_), "output-shape", -1, [&] {
+      return "output_numel " + std::to_string(p.output_numel_) +
+             " != numel(output_shape) " + std::to_string(shape_numel(p.output_shape_));
+    });
+    check(p.constant_ptrs_.size() == p.constants_.size(), "constant-table", -1, [&] {
+      return "constant pointer table size " + std::to_string(p.constant_ptrs_.size()) +
+             " != anchored constants " + std::to_string(p.constants_.size());
+    });
+    for (std::size_t ci = 0; ci < std::min(p.constants_.size(), p.constant_ptrs_.size());
+         ++ci) {
+      check(p.constants_[ci] != nullptr &&
+                p.constant_ptrs_[ci] == p.constants_[ci]->data.data(),
+            "constant-table", -1, [&] {
+              return "constant " + std::to_string(ci) +
+                     " pointer does not match its anchored storage (dangling constant)";
+            });
+    }
+
+    // --- arena spans: bounds, def range, pairwise non-aliasing --------
+    for (std::size_t si = 0; si < p.spans_.size(); ++si) {
+      const ArenaSpan& s = p.spans_[si];
+      check(s.offset + s.size <= p.arena_floats_, "arena-bounds", s.def, [&] {
+        return "span [" + std::to_string(s.offset) + ", " +
+               std::to_string(s.offset + s.size) + ") exceeds arena of " +
+               std::to_string(p.arena_floats_) + " floats (truncated arena?)";
+      });
+      check(s.def >= 0 && s.def < num_nodes && s.last_use >= s.def &&
+                s.last_use < num_nodes,
+            "span-lifetime", s.def, [&] {
+              return "span lifetime [" + std::to_string(s.def) + ", " +
+                     std::to_string(s.last_use) + "] outside node range [0, " +
+                     std::to_string(num_nodes) + ")";
+            });
+    }
+    for (std::size_t a = 0; a < p.spans_.size(); ++a) {
+      for (std::size_t b = a + 1; b < p.spans_.size(); ++b) {
+        const ArenaSpan& sa = p.spans_[a];
+        const ArenaSpan& sb = p.spans_[b];
+        const bool lives_overlap = sa.def <= sb.last_use && sb.def <= sa.last_use;
+        const bool bytes_overlap =
+            sa.offset < sb.offset + sb.size && sb.offset < sa.offset + sa.size;
+        check(!(lives_overlap && bytes_overlap), "arena-overlap", sa.def, [&] {
+          return "simultaneously-live spans alias: [" + std::to_string(sa.offset) + ", " +
+                 std::to_string(sa.offset + sa.size) + ") live [" + std::to_string(sa.def) +
+                 ", " + std::to_string(sa.last_use) + "] vs [" + std::to_string(sb.offset) +
+                 ", " + std::to_string(sb.offset + sb.size) + ") live [" +
+                 std::to_string(sb.def) + ", " + std::to_string(sb.last_use) + "]";
+        });
+      }
+    }
+
+    // --- per-node bindings --------------------------------------------
+    int output_writer = -1;
+    int output_writers = 0;
+    for (int ni = 0; ni < num_nodes; ++ni) {
+      const PlanNode& node = p.nodes_[ni];
+      check(static_cast<bool>(node.kernel), "kernel", ni,
+            [&] { return std::string("op '") + node.op + "' has no replay kernel"; });
+      for (std::size_t oi = 0; oi < node.inputs.size(); ++oi) {
+        check_read(p, r, ni, static_cast<int>(oi), node.inputs[oi], output_writer);
+      }
+      const Binding& out = node.output;
+      check(out.kind == BindKind::kArena || out.kind == BindKind::kOutput, "node-output",
+            ni, [&] {
+              return std::string("op '") + node.op +
+                     "' writes a read-only or undefined binding";
+            });
+      if (out.kind == BindKind::kArena) {
+        // The span defined by this node must exist at this offset —
+        // shuffled node order breaks exactly this correspondence.
+        const ArenaSpan* own = nullptr;
+        for (const ArenaSpan& s : p.spans_) {
+          if (s.def == ni) {
+            own = &s;
+            break;
+          }
+        }
+        check(own != nullptr && own->offset == out.offset && own->size == out.numel,
+              "topo-order", ni, [&] {
+                return std::string("op '") + node.op + "' writes arena offset " +
+                       std::to_string(out.offset) +
+                       " but no span is defined by this node there (nodes reordered after "
+                       "layout?)";
+              });
+      } else if (out.kind == BindKind::kOutput) {
+        ++output_writers;
+        if (output_writer < 0) output_writer = ni;
+        check(static_cast<std::int64_t>(out.numel) == p.output_numel_, "binding-shape", ni,
+              [&] {
+                return "output write of " + std::to_string(out.numel) +
+                       " floats into a buffer of " + std::to_string(p.output_numel_);
+              });
+      }
+    }
+
+    // --- output wiring -------------------------------------------------
+    if (p.passthrough_) {
+      check(output_writers == 0, "output-alias", -1, [&] {
+        return "passthrough plan also has " + std::to_string(output_writers) +
+               " node(s) writing the output buffer";
+      });
+      const Binding& src = p.passthrough_src_;
+      check(src.kind == BindKind::kInput || src.kind == BindKind::kConstant,
+            "output-alias", -1,
+            [&] { return "passthrough source must be an input or constant"; });
+      if (src.kind == BindKind::kInput) {
+        check(src.index < p.input_shapes_.size() &&
+                  shape_numel(p.input_shapes_[src.index]) == p.output_numel_,
+              "binding-shape", -1, [&] {
+                return "passthrough input " + std::to_string(src.index) +
+                       " does not match the output element count";
+              });
+      } else if (src.kind == BindKind::kConstant) {
+        check(src.index < p.constants_.size() &&
+                  p.constants_[src.index] != nullptr &&
+                  static_cast<std::int64_t>(p.constants_[src.index]->data.size()) ==
+                      p.output_numel_,
+              "binding-shape", -1, [&] {
+                return "passthrough constant " + std::to_string(src.index) +
+                       " does not match the output element count";
+              });
+      }
+    } else {
+      check(output_writers == 1, "output-alias", -1, [&] {
+        return std::to_string(output_writers) +
+               " nodes write the output buffer (exactly one must)";
+      });
+    }
+    return r;
+  }
+
+  /// One operand read: index bounds, shape agreement, and — for arena
+  /// reads — a covering span whose producer ran strictly earlier.
+  static void check_read(const Plan& p, VerifyReport& r, int ni, int oi, const Binding& b,
+                         int output_writer) {
+    const auto issue = [&](const char* check_id, std::string detail) {
+      r.issues.push_back(VerifyIssue{check_id, ni, std::move(detail)});
+    };
+    const auto where = [&] { return "operand " + std::to_string(oi); };
+    switch (b.kind) {
+      case BindKind::kUndefined:
+        ++r.checks_run;  // nothing to validate: kernels null-check these
+        break;
+      case BindKind::kInput:
+        ++r.checks_run;
+        if (b.index >= p.input_shapes_.size()) {
+          issue("binding-index", where() + ": input index " + std::to_string(b.index) +
+                                     " out of range (" +
+                                     std::to_string(p.input_shapes_.size()) + " inputs)");
+        } else if (static_cast<std::int64_t>(b.numel) !=
+                   shape_numel(p.input_shapes_[b.index])) {
+          issue("binding-shape", where() + ": reads " + std::to_string(b.numel) +
+                                     " floats from input " + std::to_string(b.index) +
+                                     " of " +
+                                     std::to_string(shape_numel(p.input_shapes_[b.index])));
+        }
+        break;
+      case BindKind::kConstant:
+        ++r.checks_run;
+        if (b.index >= p.constants_.size() || p.constants_[b.index] == nullptr) {
+          issue("binding-index", where() + ": constant index " + std::to_string(b.index) +
+                                     " out of range (" +
+                                     std::to_string(p.constants_.size()) + " constants)");
+        } else if (b.numel != p.constants_[b.index]->data.size()) {
+          issue("binding-shape", where() + ": reads " + std::to_string(b.numel) +
+                                     " floats from constant " + std::to_string(b.index) +
+                                     " of " +
+                                     std::to_string(p.constants_[b.index]->data.size()));
+        }
+        break;
+      case BindKind::kArena: {
+        ++r.checks_run;
+        const ArenaSpan* covering = nullptr;
+        for (const ArenaSpan& s : p.spans_) {
+          if (s.offset == b.offset && s.size == b.numel && s.def < ni && s.last_use >= ni) {
+            covering = &s;
+            break;
+          }
+        }
+        if (covering == nullptr) {
+          issue("liveness", where() + ": arena read at offset " + std::to_string(b.offset) +
+                                " (" + std::to_string(b.numel) +
+                                " floats) has no live span produced before this node");
+        }
+        break;
+      }
+      case BindKind::kOutput:
+        ++r.checks_run;
+        if (output_writer < 0 || output_writer >= ni) {
+          issue("liveness",
+                where() + ": reads the output buffer before any node has written it");
+        }
+        break;
+    }
+  }
+};
+
+VerifyReport verify(const Plan& plan) { return PlanVerifier::run(plan); }
+
+}  // namespace laco::plan

@@ -1,0 +1,79 @@
+// Plan IR verifier (docs/PLAN.md): a static checker over a compiled
+// Plan that proves, without executing it, that
+//
+//   - structure: every binding index is in range, every kernel is
+//     callable, constants are anchored and their pointer table is
+//     consistent;
+//   - shapes: every binding's element count matches what it points at
+//     (input shape, constant storage, arena span, output buffer);
+//   - topo/liveness: every arena read is covered by a span whose
+//     producer ran strictly earlier and whose lifetime extends to the
+//     reader — shuffled node order is rejected here;
+//   - non-aliasing: no two simultaneously-live arena spans overlap in
+//     bytes, and spans never extend past the arena end (truncated
+//     arenas are rejected here);
+//   - output: exactly one node writes the caller's output buffer (or a
+//     valid passthrough source), and nothing reads it before that.
+//
+// The compiler runs the verifier after every compile when
+// verify_enabled() — the default in Debug and -DLACO_PLAN_VERIFY=ON
+// (CI) builds — and drops the plan with a diagnostic on failure, so a
+// miscompiled plan falls back to eager execution instead of reading
+// stale floats. Release plan *execution* is untouched: verification
+// happens at compile time only. Metrics: plan.verify.runs /
+// plan.verify.failures / plan.verify.issues. Offline: `laco
+// plan-verify`. Tests corrupt plans through PlanSurgeon below.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "plan/plan.hpp"
+
+namespace laco::plan {
+
+struct VerifyIssue {
+  std::string check;   ///< stable id, e.g. "topo-order", "arena-overlap"
+  int node = -1;       ///< offending node index, -1 for plan-level issues
+  std::string detail;
+
+  /// "check@node: detail" (node omitted when -1).
+  std::string str() const;
+};
+
+struct VerifyReport {
+  std::vector<VerifyIssue> issues;
+  int checks_run = 0;  ///< individual assertions evaluated
+
+  bool ok() const { return issues.empty(); }
+  /// Multi-line human-readable rendering of all issues.
+  std::string str() const;
+};
+
+/// Runs every check against `plan`. Pure: no side effects on the plan,
+/// no metrics (callers record those).
+VerifyReport verify(const Plan& plan);
+
+/// Whether PlanBuilder verifies each plan post-compile. Defaults to on
+/// when NDEBUG is not defined or the build sets LACO_PLAN_VERIFY; the
+/// LACO_PLAN_VERIFY environment variable ("0"/"1") overrides at
+/// startup. Thread-safe.
+bool verify_enabled();
+void set_verify_enabled(bool enabled);
+
+/// Test-only mutable access to a Plan's internals (friend of Plan), so
+/// property tests can hand-corrupt a compiled plan and assert the
+/// verifier rejects it. Never used outside tests.
+struct PlanSurgeon {
+  static Plan copy(const Plan& plan) { return plan; }
+  static std::vector<PlanNode>& nodes(Plan& plan) { return plan.nodes_; }
+  static std::vector<ArenaSpan>& spans(Plan& plan) { return plan.spans_; }
+  static std::size_t& arena_floats(Plan& plan) { return plan.arena_floats_; }
+  static std::int64_t& output_numel(Plan& plan) { return plan.output_numel_; }
+  static bool& passthrough(Plan& plan) { return plan.passthrough_; }
+  static Binding& passthrough_src(Plan& plan) { return plan.passthrough_src_; }
+  static std::vector<const float*>& constant_ptrs(Plan& plan) { return plan.constant_ptrs_; }
+};
+
+}  // namespace laco::plan

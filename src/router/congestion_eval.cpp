@@ -1,5 +1,8 @@
 #include "router/congestion_eval.hpp"
 
+#include "placer/detailed_placer.hpp"
+#include "placer/legalizer.hpp"
+
 namespace laco {
 
 PlacementEvaluation evaluate_placement(Design& design, const GlobalRouterConfig& config,

@@ -5,8 +5,6 @@
 #pragma once
 
 #include "metrics/ace.hpp"
-#include "placer/detailed_placer.hpp"
-#include "placer/legalizer.hpp"
 #include "router/global_router.hpp"
 
 namespace laco {

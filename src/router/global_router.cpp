@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "router/maze_route.hpp"
+#include "router/net_decomposition.hpp"
+#include "router/pattern_route.hpp"
 #include "util/logging.hpp"
 
 namespace laco {

@@ -10,9 +10,6 @@
 #pragma once
 
 #include "router/grid_graph.hpp"
-#include "router/maze_route.hpp"
-#include "router/net_decomposition.hpp"
-#include "router/pattern_route.hpp"
 
 namespace laco {
 

@@ -81,7 +81,8 @@ InferenceService::~InferenceService() {
 }
 
 std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModels> models,
-                                                 ModelKind kind, nn::Tensor input) {
+                                                 ModelKind kind,
+                                                 nn::Tensor input) {  // analyze-ok(tensor-by-value): sink
   const auto now = std::chrono::steady_clock::now();
   BatchItem item;
   item.models = std::move(models);

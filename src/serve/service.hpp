@@ -137,7 +137,8 @@ class InferenceService {
   /// future yields the [1, C_out, H, W] output or a typed error
   /// (serve/errors.hpp) — it always resolves, even under faults.
   std::future<nn::Tensor> submit(std::shared_ptr<const LacoModels> models, ModelKind kind,
-                                 nn::Tensor input) LACO_EXCLUDES(mutex_);
+                                 nn::Tensor input)  // analyze-ok(tensor-by-value): sink, moved into the batch
+      LACO_EXCLUDES(mutex_);
 
   /// Blocks until every submitted request has completed.
   void drain() LACO_EXCLUDES(mutex_);

@@ -1,5 +1,7 @@
 #include "train/dataset.hpp"
 
+#include "util/rng.hpp"
+
 #include <functional>
 
 #include "netlist/ispd2015_suite.hpp"

@@ -1,5 +1,7 @@
 #include "train/lookahead_trainer.hpp"
 
+#include "nn/ops.hpp"
+
 #include <algorithm>
 #include <numeric>
 #include <random>

@@ -1,0 +1,10 @@
+// laco-analyze fixture: nothing here should fire any rule.
+#include <vector>
+
+namespace laco {
+float sum(const std::vector<float>& xs) {
+  float total = 0.0f;
+  for (const float x : xs) total += x;
+  return total;
+}
+}  // namespace laco

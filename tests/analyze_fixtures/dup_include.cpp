@@ -1,0 +1,6 @@
+// laco-analyze fixture: the same header included twice.
+#include <cstddef>
+#include <vector>
+#include <cstddef>
+
+std::size_t fixture_size(const std::vector<int>& xs) { return xs.size(); }

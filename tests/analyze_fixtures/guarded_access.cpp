@@ -1,0 +1,31 @@
+// laco-analyze fixture: guarded fields touched without a lock.
+#define LACO_GUARDED_BY(mu)
+#define LACO_REQUIRES(mu)
+
+class MutexLock {
+ public:
+  explicit MutexLock(int& mu) : mu_(mu) {}
+
+ private:
+  int& mu_;
+};
+
+class Counter {
+ public:
+  void bump();
+  void locked_bump();
+  void annotated_bump() LACO_REQUIRES(mu_);
+
+ private:
+  int mu_ = 0;
+  int value_ LACO_GUARDED_BY(mu_) = 0;
+};
+
+void Counter::bump() { value_ += 1; }
+
+void Counter::locked_bump() {
+  MutexLock lock(mu_);
+  value_ += 1;
+}
+
+void Counter::annotated_bump() { value_ += 1; }

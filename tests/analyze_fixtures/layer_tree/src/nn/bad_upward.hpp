@@ -1,0 +1,7 @@
+#pragma once
+
+#include "serve/svc.hpp"
+
+namespace laco::nn {
+inline int ask_service() { return serve::answer_rpc(); }
+}  // namespace laco::nn

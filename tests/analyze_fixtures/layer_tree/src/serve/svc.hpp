@@ -1,0 +1,5 @@
+#pragma once
+
+namespace laco::serve {
+inline int answer_rpc() { return 42; }
+}  // namespace laco::serve

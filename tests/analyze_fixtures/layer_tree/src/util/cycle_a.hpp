@@ -1,0 +1,7 @@
+#pragma once
+
+#include "util/cycle_b.hpp"
+
+namespace laco::util {
+inline int alpha() { return beta() + 1; }
+}  // namespace laco::util

@@ -1,0 +1,8 @@
+#pragma once
+
+#include "util/cycle_a.hpp"
+
+namespace laco::util {
+inline int beta() { return 2; }
+inline int alpha_twice() { return alpha() * 2; }
+}  // namespace laco::util

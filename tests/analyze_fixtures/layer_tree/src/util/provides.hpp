@@ -1,0 +1,7 @@
+#pragma once
+
+namespace laco::util {
+struct ProvidedThing {
+  int payload = 0;
+};
+}  // namespace laco::util

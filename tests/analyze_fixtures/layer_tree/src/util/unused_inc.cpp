@@ -1,0 +1,5 @@
+#include "util/provides.hpp"
+
+namespace laco::util {
+int standalone_helper() { return 7; }
+}  // namespace laco::util

@@ -1,0 +1,33 @@
+// laco-analyze fixture: unordered accumulation inside marked regions.
+#include <atomic>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+float parallel_sum(const std::vector<float>& xs) {
+  std::atomic<float> acc{0.0f};  // outside any marked region: allowed
+  // LACO_DETERMINISTIC: fixture region (atomic RMW)
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc.fetch_add(xs[i]);
+  }
+  return acc.load();
+}
+
+double keyed_total(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  // LACO_DETERMINISTIC: fixture region (hash iteration)
+  {
+    std::unordered_map<int, double> scratch(m.begin(), m.end());
+    for (const auto& [key, value] : scratch) total += value;
+  }
+  return total;
+}
+
+double shared_cell(std::size_t n) {
+  // LACO_DETERMINISTIC: fixture region (atomic FP cell)
+  {
+    std::atomic<double> cell{0.0};
+    for (std::size_t i = 0; i < n; ++i) cell.store(cell.load() + 1.0);
+    return cell.load();
+  }
+}

@@ -1,0 +1,12 @@
+// laco-analyze fixture: nn::Tensor parameters taken by value.
+namespace laco {
+namespace nn {
+class Tensor {};
+}  // namespace nn
+
+float consume(nn::Tensor dense, int k);
+float copy_anyway(const nn::Tensor frames);
+float sink(nn::Tensor owned);  // analyze-ok(tensor-by-value): fixture sink
+float fine(const nn::Tensor& ref, float* out);
+
+}  // namespace laco

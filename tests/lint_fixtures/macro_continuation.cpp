@@ -1,0 +1,14 @@
+// Fixture: preprocessor continuation lines (a directive spliced with
+// backslash-newline) are macro body, not code — per-line rules must
+// not fire inside them.
+#define FIXTURE_SCRATCH(n) \
+  do {                     \
+    auto* p = new int[n];  \
+    srand(n);              \
+    delete[] p;            \
+  } while (0)
+
+int fixture_use(int n) {
+  FIXTURE_SCRATCH(n);
+  return n;
+}

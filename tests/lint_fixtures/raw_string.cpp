@@ -1,0 +1,12 @@
+// Fixture: rule patterns inside raw string literals must not fire —
+// the tokenizer-based stripper blanks R"(...)" bodies, embedded
+// quotes and all, while preserving line numbers.
+#include <string>
+
+const char* kEmbeddedViolations = R"doc(
+  int* leak = new int[8];
+  srand(42);
+  std::cout << "chatty";
+)doc";
+
+int* really_allocates = new int[4];

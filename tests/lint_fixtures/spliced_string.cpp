@@ -1,0 +1,7 @@
+// Fixture: a string literal spliced across lines with backslash-newline
+// must be blanked without eating the newline, so diagnostics after it
+// keep exact line numbers.
+const char* kSpliced = "first half \
+second half";
+
+int* after_splice = new int[2];

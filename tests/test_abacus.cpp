@@ -4,6 +4,7 @@
 
 #include "netlist/generator.hpp"
 #include "placer/abacus.hpp"
+#include "placer/detailed_placer.hpp"
 #include "placer/global_placer.hpp"
 #include "router/congestion_eval.hpp"
 

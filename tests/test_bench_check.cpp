@@ -1,0 +1,127 @@
+// Negative-path coverage for laco-bench-check
+// (tools/bench_check_core.hpp): schema rejection, missing metric keys,
+// drift gating with --strict, and the --metric filter. Reports are
+// written to a scratch dir and fed through benchcheck::run, the same
+// entry point the CLI uses.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_check_core.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class BenchCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test dir: ctest runs each TEST_F as its own process in
+    // parallel, so a shared path would race with TearDown.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("laco_bench_check_") + info->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& json) {
+    const fs::path p = dir_ / name;
+    std::ofstream out(p);
+    out << json;
+    return p.string();
+  }
+
+  /// A minimal valid laco-bench v1 report with the given metrics body,
+  /// e.g. R"("a": 1.0, "b": 2.0)".
+  static std::string report(const std::string& metrics,
+                            const std::string& schema_version = "1") {
+    return std::string("{\"schema\": \"laco-bench\", \"schema_version\": ") +
+           schema_version +
+           ", \"name\": \"fixture\", \"settings\": {}, \"series\": {}, \"metrics\": {" +
+           metrics + "}}";
+  }
+
+  int run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return laco::benchcheck::run(args, out_, err_);
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(BenchCheck, WithinToleranceIsCleanEvenStrict) {
+  const std::string cur = write("cur.json", report("\"runtime_ms\": 104.0"));
+  const std::string base = write("base.json", report("\"runtime_ms\": 100.0"));
+  EXPECT_EQ(run({cur, base, "--max-drift", "10", "--strict"}), 0);
+  EXPECT_NE(out_.str().find("1 metric(s) compared, 0 beyond threshold"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchCheck, DriftBeyondToleranceGatesOnlyUnderStrict) {
+  const std::string cur = write("cur.json", report("\"runtime_ms\": 150.0"));
+  const std::string base = write("base.json", report("\"runtime_ms\": 100.0"));
+  // Warn-only by default (machine perf varies)...
+  EXPECT_EQ(run({cur, base, "--max-drift", "10"}), 0);
+  EXPECT_NE(out_.str().find("** DRIFT **"), std::string::npos) << out_.str();
+  // ...but --strict turns the same drift into exit 1.
+  EXPECT_EQ(run({cur, base, "--max-drift", "10", "--strict"}), 1);
+  EXPECT_EQ(run({cur, base, "--max-drift", "60", "--strict"}), 0);
+}
+
+TEST_F(BenchCheck, MissingMetricKeyIsFlagged) {
+  const std::string cur = write("cur.json", report("\"other\": 1.0"));
+  const std::string base = write("base.json", report("\"runtime_ms\": 100.0"));
+  EXPECT_EQ(run({cur, base, "--strict"}), 1);
+  EXPECT_NE(out_.str().find("runtime_ms: MISSING from current report"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchCheck, SchemaVersionMismatchIsExitTwo) {
+  const std::string cur = write("cur.json", report("\"runtime_ms\": 100.0"));
+  const std::string base = write("base.json", report("\"runtime_ms\": 100.0", "99"));
+  EXPECT_EQ(run({cur, base}), 2);
+  EXPECT_NE(err_.str().find("schema_version"), std::string::npos) << err_.str();
+}
+
+TEST_F(BenchCheck, InvalidJsonAndUnreadableFilesAreExitTwo) {
+  const std::string cur = write("cur.json", report("\"runtime_ms\": 100.0"));
+  const std::string garbage = write("garbage.json", "{not json");
+  EXPECT_EQ(run({cur, garbage}), 2);
+  EXPECT_EQ(run({cur, (dir_ / "no_such.json").string()}), 2);
+  EXPECT_NE(err_.str().find("cannot read"), std::string::npos) << err_.str();
+}
+
+TEST_F(BenchCheck, MetricFilterComparesOnlySelectedKeys) {
+  // wall_ms drifts wildly but is not selected; the scale-invariant
+  // counter is stable, so the gate passes.
+  const std::string cur =
+      write("cur.json", report("\"wall_ms\": 900.0, \"allocs_per_fwd\": 2.0"));
+  const std::string base =
+      write("base.json", report("\"wall_ms\": 100.0, \"allocs_per_fwd\": 2.0"));
+  EXPECT_EQ(run({cur, base, "--strict", "--max-drift", "5", "--metric", "allocs_per_fwd"}),
+            0);
+  EXPECT_EQ(out_.str().find("wall_ms"), std::string::npos) << out_.str();
+  // A selected key absent from the baseline must fail, not pass
+  // vacuously.
+  EXPECT_EQ(run({cur, base, "--strict", "--metric", "no_such_metric"}), 1);
+  EXPECT_NE(out_.str().find("no_such_metric: MISSING from baseline report"),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchCheck, UsageErrorsAreExitTwo) {
+  EXPECT_EQ(run({}), 2);
+  EXPECT_EQ(run({"only_one.json"}), 2);
+  EXPECT_EQ(run({"a.json", "b.json", "--unknown-flag"}), 2);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos) << err_.str();
+}
+
+}  // namespace

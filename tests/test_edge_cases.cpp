@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "features/feature_stack.hpp"
+#include "features/rudy.hpp"
 #include "placer/global_placer.hpp"
 #include "placer/legalizer.hpp"
 #include "router/congestion_eval.hpp"

@@ -168,6 +168,33 @@ TEST(LintTree, UnregisteredTestFileIsFlagged) {
   fs::remove_all(root);
 }
 
+// Regression pins for the tokenizer-based stripper (analyze_core):
+// each of these fixtures made the old hand-rolled state machine
+// misfire or drift line numbers.
+
+TEST(LintStripper, RawStringBodiesNeverMatchRules) {
+  // Violations spelled inside R"doc(...)doc" are prose; the one real
+  // allocation after the literal keeps its exact line number.
+  EXPECT_EQ(diags("raw_string.cpp", "src/fixture/raw_string.cpp"),
+            std::vector<std::string>{
+                "src/fixture/raw_string.cpp:12: [naked-new] use "
+                "std::make_unique/std::make_shared or containers instead of naked allocation"});
+}
+
+TEST(LintStripper, MacroContinuationLinesAreNotCode) {
+  EXPECT_EQ(diags("macro_continuation.cpp", "src/fixture/macro_continuation.cpp"),
+            std::vector<std::string>{});
+}
+
+TEST(LintStripper, SplicedStringLiteralKeepsLineNumbers) {
+  // The backslash-newline splice inside the literal used to swallow a
+  // newline and shift every later diagnostic up a line.
+  EXPECT_EQ(diags("spliced_string.cpp", "src/fixture/spliced_string.cpp"),
+            std::vector<std::string>{
+                "src/fixture/spliced_string.cpp:7: [naked-new] use "
+                "std::make_unique/std::make_shared or containers instead of naked allocation"});
+}
+
 TEST(LintTree, RepoIsCleanAndWalkSkipsFixtures) {
   // The ctest gate runs the binary; this is the API-level equivalent,
   // and proves the walk never descends into lint_fixtures/.
@@ -176,6 +203,7 @@ TEST(LintTree, RepoIsCleanAndWalkSkipsFixtures) {
   ASSERT_FALSE(files.empty());
   for (const std::string& rel : files) {
     EXPECT_EQ(rel.find("lint_fixtures"), std::string::npos) << rel;
+    EXPECT_EQ(rel.find("analyze_fixtures"), std::string::npos) << rel;
   }
   std::vector<std::string> violations;
   for (const Diagnostic& d : laco::lint::lint_tree(root)) violations.push_back(d.str());

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "metrics/kl_divergence.hpp"
+#include "util/rng.hpp"
 #include "metrics/nrms.hpp"
 #include "metrics/ssim.hpp"
 #include "netlist/generator.hpp"

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "metrics/ace.hpp"
+#include "util/rng.hpp"
 #include "nn/autograd.hpp"
 #include "nn/ops.hpp"
 #include "train/congestion_trainer.hpp"

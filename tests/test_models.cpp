@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "models/congestion_fcn.hpp"
+#include "nn/ops.hpp"
 #include "models/lookahead_simvp.hpp"
 #include "models/model_io.hpp"
 #include "models/vae_branch.hpp"

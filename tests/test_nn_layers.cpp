@@ -5,6 +5,7 @@
 
 #include "nn/autograd.hpp"
 #include "nn/layers.hpp"
+#include "nn/ops.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
 

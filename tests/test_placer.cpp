@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "netlist/generator.hpp"
+#include "util/rng.hpp"
 #include "placer/density.hpp"
 #include "placer/global_placer.hpp"
 #include "placer/nesterov.hpp"

@@ -1,0 +1,205 @@
+// Tests for the plan IR verifier (src/plan/verifier.hpp): every plan
+// the compiler produces for randomized model configs must verify
+// clean, hand-corrupted plans (via PlanSurgeon) must be rejected per
+// corruption class, and the post-compile hook must record
+// plan.verify.* metrics and respect set_verify_enabled().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/congestion_fcn.hpp"
+#include "nn/layers.hpp"
+#include "nn/ops.hpp"
+#include "obs/metrics.hpp"
+#include "plan/plan.hpp"
+#include "plan/verifier.hpp"
+
+namespace laco {
+namespace {
+
+nn::Tensor random_input(const nn::Shape& shape, unsigned seed) {
+  nn::Tensor t = nn::Tensor::zeros(shape);
+  unsigned state = seed * 2654435761u + 1u;
+  for (float& v : t.data()) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<float>(state >> 8) / static_cast<float>(1u << 24);
+  }
+  return t;
+}
+
+std::shared_ptr<CongestionFcn> tiny_fcn(int in_channels, int base_width, unsigned seed) {
+  CongestionFcnConfig fc;
+  fc.in_channels = in_channels;
+  fc.base_width = base_width;
+  nn::reset_init_seed(seed);
+  auto fcn = std::make_shared<CongestionFcn>(fc);
+  for (nn::Tensor p : fcn->parameters()) p.set_requires_grad(false);
+  return fcn;
+}
+
+plan::CompileResult compile_fcn(const std::shared_ptr<CongestionFcn>& fcn,
+                                const nn::Shape& shape, unsigned seed) {
+  return plan::compile(
+      [&](const std::vector<nn::Tensor>& in) { return fcn->forward(in[0]); },
+      {random_input(shape, seed)});
+}
+
+bool has_check(const plan::VerifyReport& report, const std::string& id) {
+  for (const plan::VerifyIssue& issue : report.issues) {
+    if (issue.check == id) return true;
+  }
+  return false;
+}
+
+/// A verified-good compiled plan with at least two nodes and a
+/// non-trivial arena, used as the corruption substrate.
+plan::Plan good_plan() {
+  const auto fcn = tiny_fcn(3, 4, 911);
+  const plan::CompileResult res = compile_fcn(fcn, {1, 3, 8, 8}, 7);
+  EXPECT_TRUE(res.plan != nullptr) << res.error;
+  EXPECT_TRUE(plan::verify(*res.plan).ok());
+  return plan::PlanSurgeon::copy(*res.plan);
+}
+
+// ----------------------------------------------------------- acceptance
+
+TEST(PlanVerify, AcceptsEveryRandomizedCompiledPlan) {
+  unsigned seed = 100;
+  for (const int in_channels : {1, 3, 5}) {
+    for (const int base_width : {4, 8}) {
+      const auto fcn = tiny_fcn(in_channels, base_width, ++seed);
+      for (const int grid : {4, 8}) {
+        for (const int batch : {1, 2}) {
+          const plan::CompileResult res =
+              compile_fcn(fcn, {batch, in_channels, grid, grid}, ++seed);
+          ASSERT_TRUE(res.plan != nullptr) << res.error;
+          const plan::VerifyReport report = plan::verify(*res.plan);
+          EXPECT_TRUE(report.ok()) << report.str();
+          EXPECT_GT(report.checks_run, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanVerify, AcceptsPassthroughPlan) {
+  const nn::Tensor x = random_input({2, 3, 4, 4}, 5);
+  const plan::CompileResult res =
+      plan::compile([](const std::vector<nn::Tensor>& in) { return in[0]; }, {x});
+  ASSERT_TRUE(res.plan != nullptr) << res.error;
+  EXPECT_EQ(res.plan->num_nodes(), 0u);
+  const plan::VerifyReport report = plan::verify(*res.plan);
+  EXPECT_TRUE(report.ok()) << report.str();
+
+  // Flipping the passthrough flag leaves a plan with zero output
+  // writers — the verifier must notice.
+  plan::Plan corrupt = plan::PlanSurgeon::copy(*res.plan);
+  plan::PlanSurgeon::passthrough(corrupt) = false;
+  const plan::VerifyReport bad = plan::verify(corrupt);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(has_check(bad, "output-alias")) << bad.str();
+}
+
+// ---------------------------------------------------- corruption classes
+
+TEST(PlanVerify, RejectsShuffledNodeOrder) {
+  plan::Plan p = good_plan();
+  auto& nodes = plan::PlanSurgeon::nodes(p);
+  ASSERT_GE(nodes.size(), 2u);
+  std::swap(nodes[0], nodes[1]);
+  const plan::VerifyReport report = plan::verify(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_check(report, "topo-order") || has_check(report, "liveness"))
+      << report.str();
+}
+
+TEST(PlanVerify, RejectsTruncatedArena) {
+  plan::Plan p = good_plan();
+  ASSERT_GT(plan::PlanSurgeon::arena_floats(p), 1u);
+  plan::PlanSurgeon::arena_floats(p) /= 2;
+  const plan::VerifyReport report = plan::verify(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_check(report, "arena-bounds")) << report.str();
+}
+
+TEST(PlanVerify, RejectsAliasedLiveSpans) {
+  plan::Plan p = good_plan();
+  auto& spans = plan::PlanSurgeon::spans(p);
+  // Find two spans whose lifetimes overlap and force them onto the
+  // same offset; the pairwise non-aliasing check must fire.
+  std::size_t a = spans.size();
+  std::size_t b = spans.size();
+  for (std::size_t i = 0; i < spans.size() && a == spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      if (spans[i].def <= spans[j].last_use && spans[j].def <= spans[i].last_use &&
+          spans[i].offset != spans[j].offset) {
+        a = i;
+        b = j;
+        break;
+      }
+    }
+  }
+  ASSERT_LT(a, spans.size()) << "fixture plan has no temporally-overlapping spans";
+  spans[b].offset = spans[a].offset;
+  const plan::VerifyReport report = plan::verify(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_check(report, "arena-overlap")) << report.str();
+}
+
+TEST(PlanVerify, RejectsMissingKernel) {
+  plan::Plan p = good_plan();
+  auto& nodes = plan::PlanSurgeon::nodes(p);
+  ASSERT_FALSE(nodes.empty());
+  nodes.front().kernel = nullptr;
+  const plan::VerifyReport report = plan::verify(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_check(report, "kernel")) << report.str();
+}
+
+TEST(PlanVerify, RejectsOutputShapeMismatch) {
+  plan::Plan p = good_plan();
+  plan::PlanSurgeon::output_numel(p) += 1;
+  const plan::VerifyReport report = plan::verify(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_check(report, "output-shape")) << report.str();
+}
+
+TEST(PlanVerify, RejectsDanglingConstantPointer) {
+  plan::Plan p = good_plan();
+  auto& ptrs = plan::PlanSurgeon::constant_ptrs(p);
+  ASSERT_FALSE(ptrs.empty());
+  ptrs.front() = nullptr;
+  const plan::VerifyReport report = plan::verify(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_check(report, "constant-table")) << report.str();
+}
+
+// ------------------------------------------------- compile hook + metrics
+
+std::uint64_t verify_runs() {
+  return obs::MetricRegistry::global().snapshot().counters["plan.verify.runs"];
+}
+
+TEST(PlanVerify, CompileHookRunsOnlyWhenEnabled) {
+  const bool was_enabled = plan::verify_enabled();
+  const auto fcn = tiny_fcn(3, 4, 77);
+
+  plan::set_verify_enabled(false);
+  const std::uint64_t before_disabled = verify_runs();
+  ASSERT_TRUE(compile_fcn(fcn, {1, 3, 4, 4}, 1).plan != nullptr);
+  EXPECT_EQ(verify_runs(), before_disabled);
+
+  plan::set_verify_enabled(true);
+  const std::uint64_t before_enabled = verify_runs();
+  ASSERT_TRUE(compile_fcn(fcn, {1, 3, 4, 4}, 2).plan != nullptr);
+  EXPECT_EQ(verify_runs(), before_enabled + 1);
+
+  plan::set_verify_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace laco

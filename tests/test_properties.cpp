@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "features/feature_stack.hpp"
+#include "features/rudy.hpp"
+#include "util/rng.hpp"
 #include "laco/congestion_penalty.hpp"
 #include "metrics/kl_divergence.hpp"
 #include "obs/metrics.hpp"

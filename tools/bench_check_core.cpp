@@ -1,0 +1,125 @@
+#include "bench_check_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+
+namespace laco::benchcheck {
+
+namespace {
+
+using laco::obs::BenchReporter;
+using laco::obs::Json;
+
+int usage(std::ostream& err) {
+  err << "usage: laco-bench-check <current.json> <baseline.json> "
+         "[--max-drift PCT] [--strict] [--metric KEY]...\n";
+  return 2;
+}
+
+Json load_report(const std::string& path, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot read " + path;
+    return Json();
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    Json report = Json::parse(buffer.str());
+    const std::string problem = BenchReporter::validate(report);
+    if (!problem.empty()) error = path + ": " + problem;
+    return report;
+  } catch (const std::exception& e) {
+    error = path + ": " + e.what();
+    return Json();
+  }
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  std::string current_path, baseline_path;
+  double max_drift = 25.0;
+  bool strict = false;
+  std::set<std::string> only_metrics;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--strict") {
+      strict = true;
+    } else if (args[i] == "--max-drift" && i + 1 < args.size()) {
+      try {
+        max_drift = std::stod(args[++i]);
+      } catch (const std::exception&) {
+        return usage(err);
+      }
+    } else if (args[i] == "--metric" && i + 1 < args.size()) {
+      only_metrics.insert(args[++i]);
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage(err);
+    } else if (current_path.empty()) {
+      current_path = args[i];
+    } else if (baseline_path.empty()) {
+      baseline_path = args[i];
+    } else {
+      return usage(err);
+    }
+  }
+  if (current_path.empty() || baseline_path.empty()) return usage(err);
+
+  std::string error;
+  const Json current = load_report(current_path, error);
+  if (!error.empty()) {
+    err << "laco-bench-check: " << error << '\n';
+    return 2;
+  }
+  const Json baseline = load_report(baseline_path, error);
+  if (!error.empty()) {
+    err << "laco-bench-check: " << error << '\n';
+    return 2;
+  }
+
+  out << "bench drift: " << current.at("name").as_string() << " (current " << current_path
+      << " vs baseline " << baseline_path << ", threshold " << max_drift << "%)\n";
+  int compared = 0;
+  int flagged = 0;
+  std::set<std::string> seen;
+  for (const auto& [key, base_value] : baseline.at("metrics").as_object()) {
+    if (!base_value.is_number()) continue;
+    if (!only_metrics.empty() && only_metrics.count(key) == 0) continue;
+    seen.insert(key);
+    if (!current.at("metrics").contains(key)) {
+      out << "  " << key << ": MISSING from current report\n";
+      ++flagged;
+      continue;
+    }
+    const double base = base_value.as_double();
+    const double cur = current.at("metrics").at(key).as_double();
+    const double drift = 100.0 * (cur - base) / std::max(std::abs(base), 1e-12);
+    const bool over = std::abs(drift) > max_drift;
+    ++compared;
+    flagged += over ? 1 : 0;
+    out << "  " << key << ": " << base << " -> " << cur << "  (" << std::showpos
+        << std::setprecision(3) << drift << std::noshowpos << std::setprecision(6) << "%)"
+        << (over ? "  ** DRIFT **" : "") << '\n';
+  }
+  // A --metric gate that matches nothing would otherwise pass without
+  // comparing anything; flag the absent keys instead.
+  for (const std::string& key : only_metrics) {
+    if (seen.count(key) == 0) {
+      out << "  " << key << ": MISSING from baseline report\n";
+      ++flagged;
+    }
+  }
+  out << compared << " metric(s) compared, " << flagged << " beyond threshold"
+      << (strict ? "" : " (warn-only; pass --strict to gate)") << '\n';
+  return strict && flagged > 0 ? 1 : 0;
+}
+
+}  // namespace laco::benchcheck

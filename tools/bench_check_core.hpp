@@ -1,0 +1,31 @@
+// Library half of laco-bench-check (tools/laco_bench_check.cpp is the
+// CLI shell): compares every numeric headline metric of a `current`
+// laco-bench JSON report against a `baseline` and reports relative
+// drift. Factored out so tests/test_bench_check.cpp can drive the
+// exact argv/exit-code contract without spawning processes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace laco::benchcheck {
+
+/// Runs the full laco-bench-check CLI against `args` (argv[1..]),
+/// writing the drift table to `out` and errors to `err`. Flags:
+///
+///   <current.json> <baseline.json>   the two reports (positional)
+///   --max-drift PCT                  threshold, default 25
+///   --strict                         exit 1 when any metric is flagged
+///   --metric KEY                     repeatable; only compare these
+///                                    baseline metrics (a KEY missing
+///                                    from the baseline is itself
+///                                    flagged — a gate must not pass
+///                                    vacuously)
+///
+/// Returns the process exit status: 2 on usage errors or
+/// unreadable/schema-invalid reports, 1 with --strict when any metric
+/// drifts past the threshold (or is missing), else 0.
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace laco::benchcheck

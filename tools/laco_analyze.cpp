@@ -1,0 +1,78 @@
+// laco-analyze CLI — second-generation, token-aware static analysis
+// (tools/analyze_core.hpp, docs/STATIC_ANALYSIS.md). Registered as the
+// tier-1 `laco_analyze` ctest gate, so `ctest` fails on any layer-DAG
+// break, include cycle, unused project include, unlocked
+// LACO_GUARDED_BY access, Tensor-by-value parameter, or unordered
+// accumulation inside a LACO_DETERMINISTIC region.
+//
+// Usage:
+//   laco-analyze --root DIR [options] [relpath...]
+//     --root DIR      repository root (default: current directory)
+//     --no-file       skip the per-file token rules
+//     --no-tree       skip the include-graph rules (layer DAG, cycles, IWYU)
+//     relpath...      run only the per-file rules on these files
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze_core.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " --root DIR [--no-file] [--no-tree] [relpath...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  laco::analyze::Options options;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      root = v;
+    } else if (arg == "--no-file") {
+      options.file_rules = false;
+    } else if (arg == "--no-tree") {
+      options.tree_rules = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  std::vector<laco::analyze::Diagnostic> diagnostics;
+  try {
+    if (explicit_files.empty()) {
+      diagnostics = laco::analyze::analyze_tree(root, options);
+    } else {
+      for (const std::string& rel : explicit_files) {
+        auto file_diags =
+            laco::analyze::analyze_file(std::filesystem::path(root) / rel, rel, root);
+        diagnostics.insert(diagnostics.end(), file_diags.begin(), file_diags.end());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "laco-analyze: " << e.what() << '\n';
+    return 2;
+  }
+
+  for (const auto& d : diagnostics) std::cout << d.str() << '\n';
+  if (!diagnostics.empty()) {
+    std::cerr << "laco-analyze: " << diagnostics.size() << " violation(s)\n";
+    return 1;
+  }
+  return 0;
+}

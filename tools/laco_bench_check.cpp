@@ -1,113 +1,22 @@
 // laco-bench-check — drift report between two laco-bench JSON reports
-// (docs/OBSERVABILITY.md schema). Compares every numeric headline
-// metric of `current` against `baseline` and prints the relative
-// drift; metrics beyond --max-drift are flagged.
+// (docs/OBSERVABILITY.md schema). Thin CLI shell; the comparison and
+// the argv/exit-code contract live in tools/bench_check_core.hpp and
+// are covered by tests/test_bench_check.cpp.
 //
 //   laco-bench-check <current.json> <baseline.json>
-//                    [--max-drift PCT] [--strict]
+//                    [--max-drift PCT] [--strict] [--metric KEY]...
 //
 // Exit status: 2 on unreadable/invalid reports; with --strict, 1 when
 // any metric drifts past the threshold; otherwise 0 (warn-only, the
 // run_benches.sh --check-baseline default — machine perf varies, so
 // drift gates are opt-in).
-#include <cmath>
-#include <cstring>
-#include <fstream>
-#include <iomanip>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <vector>
 
-#include "obs/bench_report.hpp"
-#include "obs/json.hpp"
-
-namespace {
-
-using laco::obs::BenchReporter;
-using laco::obs::Json;
-
-int usage() {
-  std::cerr << "usage: laco-bench-check <current.json> <baseline.json> "
-               "[--max-drift PCT] [--strict]\n";
-  return 2;
-}
-
-Json load_report(const std::string& path, std::string& error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    error = "cannot read " + path;
-    return Json();
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  try {
-    Json report = Json::parse(buffer.str());
-    const std::string problem = BenchReporter::validate(report);
-    if (!problem.empty()) error = path + ": " + problem;
-    return report;
-  } catch (const std::exception& e) {
-    error = path + ": " + e.what();
-    return Json();
-  }
-}
-
-}  // namespace
+#include "bench_check_core.hpp"
 
 int main(int argc, char** argv) {
-  std::string current_path, baseline_path;
-  double max_drift = 25.0;
-  bool strict = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--strict") == 0) {
-      strict = true;
-    } else if (std::strcmp(argv[i], "--max-drift") == 0 && i + 1 < argc) {
-      max_drift = std::stod(argv[++i]);
-    } else if (current_path.empty()) {
-      current_path = argv[i];
-    } else if (baseline_path.empty()) {
-      baseline_path = argv[i];
-    } else {
-      return usage();
-    }
-  }
-  if (current_path.empty() || baseline_path.empty()) return usage();
-
-  std::string error;
-  const Json current = load_report(current_path, error);
-  if (!error.empty()) {
-    std::cerr << "laco-bench-check: " << error << '\n';
-    return 2;
-  }
-  const Json baseline = load_report(baseline_path, error);
-  if (!error.empty()) {
-    std::cerr << "laco-bench-check: " << error << '\n';
-    return 2;
-  }
-
-  std::cout << "bench drift: " << current.at("name").as_string() << " (current "
-            << current_path << " vs baseline " << baseline_path << ", threshold "
-            << max_drift << "%)\n";
-  int compared = 0;
-  int flagged = 0;
-  for (const auto& [key, base_value] : baseline.at("metrics").as_object()) {
-    if (!base_value.is_number()) continue;
-    if (!current.at("metrics").contains(key)) {
-      std::cout << "  " << key << ": MISSING from current report\n";
-      ++flagged;
-      continue;
-    }
-    const double base = base_value.as_double();
-    const double cur = current.at("metrics").at(key).as_double();
-    const double drift =
-        100.0 * (cur - base) / std::max(std::abs(base), 1e-12);
-    const bool over = std::abs(drift) > max_drift;
-    ++compared;
-    flagged += over ? 1 : 0;
-    std::cout << "  " << key << ": " << base << " -> " << cur << "  ("
-              << std::showpos << std::setprecision(3) << drift << std::noshowpos
-              << std::setprecision(6) << "%)" << (over ? "  ** DRIFT **" : "") << '\n';
-  }
-  std::cout << compared << " metric(s) compared, " << flagged << " beyond threshold"
-            << (strict ? "" : " (warn-only; pass --strict to gate)") << '\n';
-  return strict && flagged > 0 ? 1 : 0;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return laco::benchcheck::run(args, std::cout, std::cerr);
 }

@@ -67,6 +67,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "plan/plan_cache.hpp"
+#include "plan/verifier.hpp"
 #include "serve/errors.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/service.hpp"
@@ -126,7 +127,7 @@ Args parse_args(int argc, char** argv, int first) {
 }
 
 int usage() {
-  std::cerr << "usage: laco <generate|place|eval|train|serve> [args]\n"
+  std::cerr << "usage: laco <generate|place|eval|train|serve|plan-verify> [args]\n"
                "run with a subcommand and no args for its options\n";
   return 2;
 }
@@ -316,6 +317,76 @@ std::shared_ptr<const LacoModels> demo_models(bool with_lookahead) {
     for (nn::Tensor p : m->lookahead->parameters()) p.set_requires_grad(false);
   }
   return m;
+}
+
+/// `laco plan-verify [--models DIR] [--grid N]`: compile the model
+/// set's inference plans offline and run the plan IR verifier
+/// (src/plan/verifier.hpp) over each, printing nodes / arena layout /
+/// checks per plan. Exit 1 when any plan fails to compile or verify.
+int cmd_plan_verify(const Args& args) {
+  plan::set_verify_enabled(true);
+  const int grid = args.get_int("grid", 16);
+  std::shared_ptr<const LacoModels> models;
+  const std::string dir = args.get("models", "");
+  if (!dir.empty()) {
+    models = serve::shared_registry().get(dir);
+  } else {
+    models = demo_models(true);
+    std::cout << "no --models given: verifying a randomly initialized demo set\n";
+  }
+
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> uniform(0.0f, 1.0f);
+  const auto random_input = [&](int channels) {
+    nn::Tensor t = nn::Tensor::zeros({1, channels, grid, grid});
+    for (float& v : t.data()) v = uniform(rng);
+    return t;
+  };
+
+  int bad = 0;
+  const auto run_case = [&](const std::string& name, const plan::TracedFn& fn,
+                            const std::vector<nn::Tensor>& inputs) {
+    const plan::CompileResult compiled = plan::compile(fn, inputs);
+    if (!compiled.plan) {
+      std::cout << name << ": REJECTED — " << compiled.error << '\n';
+      ++bad;
+      return;
+    }
+    const plan::VerifyReport report = plan::verify(*compiled.plan);
+    std::cout << name << ": " << compiled.plan->num_nodes() << " nodes, "
+              << compiled.plan->arena_spans().size() << " arena spans, "
+              << compiled.plan->arena_floats() * sizeof(float) << " arena bytes — "
+              << (report.ok() ? "OK" : "REJECTED") << " (" << report.checks_run
+              << " checks)\n";
+    if (!report.ok()) {
+      std::cout << report.str() << '\n';
+      ++bad;
+    }
+  };
+
+  {
+    const int c = models->congestion->config().in_channels;
+    run_case("f congestion [" + std::to_string(c) + 'x' + std::to_string(grid) + 'x' +
+                 std::to_string(grid) + "]",
+             [models](const std::vector<nn::Tensor>& in) {
+               return models->congestion->forward(in[0]);
+             },
+             {random_input(c)});
+  }
+  if (models->lookahead) {
+    const int c = models->lookahead->config().frames *
+                  models->lookahead->config().channels_per_frame;
+    run_case("g lookahead [" + std::to_string(c) + 'x' + std::to_string(grid) + 'x' +
+                 std::to_string(grid) + "]",
+             [models](const std::vector<nn::Tensor>& in) {
+               return models->lookahead->forward(in[0]).prediction;
+             },
+             {random_input(c)});
+  }
+
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
+  std::cout << snap.to_string("plan.verify.");
+  return bad == 0 ? 0 : 1;
 }
 
 /// `laco serve --chaos RATE`: drive the service under injected faults
@@ -604,6 +675,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "train") return cmd_train(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "plan-verify") return cmd_plan_verify(args);
   } catch (const std::exception& e) {
     std::cerr << "laco " << command << ": " << e.what() << '\n';
     return 1;

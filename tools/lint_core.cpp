@@ -1,5 +1,7 @@
 #include "lint_core.hpp"
 
+#include "analyze_core.hpp"
+
 #include <unistd.h>
 
 #include <algorithm>
@@ -302,75 +304,13 @@ std::string Diagnostic::str() const {
 }
 
 std::string strip_comments_and_strings(const std::string& source) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  std::string out;
-  out.reserve(source.size());
-  State state = State::kCode;
-  for (std::size_t i = 0; i < source.size(); ++i) {
-    const char c = source[i];
-    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
+  // Delegates to the laco-analyze tokenizer (tools/analyze_core.hpp):
+  // the shared stripper handles raw strings R"( … )" and
+  // backslash-newline-spliced literals with exact line preservation,
+  // and blanks preprocessor continuation lines so multi-line macro
+  // bodies never trip per-line rules. Fixture tests in
+  // tests/test_lint.cpp pin the exact output.
+  return analyze::strip_for_line_rules(source);
 }
 
 std::vector<Diagnostic> lint_file(const fs::path& file, const std::string& relpath,
@@ -398,7 +338,11 @@ std::vector<std::string> collect_files(const fs::path& root) {
     if (!fs::exists(dir)) continue;
     for (auto it = fs::recursive_directory_iterator(dir); it != fs::recursive_directory_iterator();
          ++it) {
-      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+      // Fixture trees (lint_fixtures/, analyze_fixtures/, ...) violate
+      // rules on purpose; they are driven explicitly by their tests.
+      const std::string dirname = it->is_directory() ? it->path().filename().string() : "";
+      if (it->is_directory() && dirname.size() >= 9 &&
+          dirname.compare(dirname.size() - 9, 9, "_fixtures") == 0) {
         it.disable_recursion_pending();
         continue;
       }
