@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "features/feature_stack.hpp"
@@ -40,6 +41,19 @@ struct LacoModels {
   FeatureScale scale_hi;  ///< congestion-resolution normalization
   FeatureScale scale_lo;  ///< look-ahead-resolution normalization
 };
+
+/// Inference-only delegation hook for sharded serving: maps f's fully
+/// assembled input tensor ([1, Cin, H, W]) to f's output ([1, 1, H, W]).
+/// CongestionPenalty::predict() assembles the input locally (including
+/// the look-ahead g forward) and, when a remote is set, delegates the
+/// congestion forward to it — typically serve::make_penalty_remote()
+/// wrapping an InferenceRouter. A throwing remote (shed, deadline,
+/// breaker open, model error) falls back to the local plan/eager path
+/// for that call. Gradients never cross the remote: operator()'s
+/// autograd path always runs locally. Defined here, implemented by the
+/// serve layer — laco stays below serve in the layer DAG
+/// (docs/STATIC_ANALYSIS.md).
+using RemoteCongestionForward = std::function<nn::Tensor(const nn::Tensor&)>;
 
 struct PenaltyConfig {
   FeatureConfig features_hi;  ///< congestion-model grid (e.g. 64×64)
@@ -68,6 +82,8 @@ struct PenaltyStats {
   std::uint64_t learned_failures = 0;      ///< learned path threw
   std::uint64_t analytic_fallbacks = 0;    ///< analytic RUDY penalty used instead
   std::uint64_t degradations = 0;          ///< times degraded mode was entered
+  std::uint64_t remote_forwards = 0;       ///< predict() served by the remote hook
+  std::uint64_t remote_fallbacks = 0;      ///< remote threw; local path used instead
 };
 
 /// Model-free RUDY penalty: L = (1/MN) Σ (s · rudy_i)² at `extractor`'s
@@ -98,6 +114,11 @@ class CongestionPenalty {
   /// ready for a look-ahead prediction.
   bool predict(const Design& design, GridMap& out);
 
+  /// Installs (or clears, with nullptr) the remote congestion-forward
+  /// delegate used by predict(). Single-threaded with the placer loop,
+  /// like the rest of the penalty state.
+  void set_remote_forward(RemoteCongestionForward remote) { remote_forward_ = std::move(remote); }
+
   const PenaltyConfig& config() const { return config_; }
   const PenaltyStats& stats() const { return stats_; }
   /// True while the learned path is benched and the analytic fallback
@@ -120,6 +141,11 @@ class CongestionPenalty {
   /// can trace it into a compiled plan (docs/PLAN.md).
   nn::Tensor model_forward(const nn::Tensor& hi_input, const nn::Tensor& lo_input,
                            const nn::Tensor& context) const;
+  /// Everything in model_forward up to (not including) the final f
+  /// forward: the g chain plus upsample/concat. Returns the tensor f
+  /// consumes — what a remote congestion forward receives.
+  nn::Tensor assemble_f_input(const nn::Tensor& hi_input, const nn::Tensor& lo_input,
+                              const nn::Tensor& context) const;
   FeatureFrame compute_frame(const Design& design, const FeatureExtractor& extractor,
                              const std::vector<double>* px, const std::vector<double>* py,
                              int iteration) const;
@@ -152,6 +178,7 @@ class CongestionPenalty {
   PenaltyStats stats_;
   int consecutive_failures_ = 0;  ///< learned-path failures in a row
   int degraded_remaining_ = 0;    ///< analytic-only applications left
+  RemoteCongestionForward remote_forward_;  ///< predict()'s f delegate (may be null)
 
   /// Arena workspace reused across predict() calls (single-threaded
   /// with the placer loop, like the rest of the penalty state).

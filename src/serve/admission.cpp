@@ -1,0 +1,87 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace laco::serve {
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+    case Priority::kBestEffort: return "besteffort";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmit: return "admit";
+    case AdmissionOutcome::kShedQueueFull: return "shed-queue-full";
+    case AdmissionOutcome::kShedDeadline: return "shed-deadline";
+  }
+  return "?";
+}
+
+AdmissionConfig AdmissionConfig::validated() const {
+  AdmissionConfig v = *this;
+  LACO_CHECK(v.initial_cost_ms >= 0.0);
+  v.queue_limit = std::max<std::size_t>(1, v.queue_limit);
+  v.drain_width = std::max(1, v.drain_width);
+  v.cost_ewma_alpha = std::clamp(v.cost_ewma_alpha, 0.0, 1.0);
+  for (double& f : v.occupancy_limit) f = std::clamp(f, 0.0, 1.0);
+  // The most urgent class must be able to use the whole queue, or the
+  // reserved tail would be dead capacity no class can claim.
+  v.occupancy_limit[0] = 1.0;
+  return v;
+}
+
+ShardAdmission::ShardAdmission(AdmissionConfig config)
+    : config_(config.validated()), cost_ms_(config_.initial_cost_ms) {}
+
+AdmissionOutcome ShardAdmission::consider(Priority priority, TimePoint now,
+                                          TimePoint deadline) const {
+  const auto cls = static_cast<std::size_t>(priority);
+  // Class occupancy cap: each class may fill only its fraction of the
+  // queue. ceil-free formulation: admit while queued < floor(limit ×
+  // fraction), minimum 1 slot so a fully idle shard admits any class.
+  const auto class_cap = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(config_.queue_limit) *
+                                  config_.occupancy_limit[cls]));
+  if (queued_total_ >= config_.queue_limit || queued_total_ >= class_cap) {
+    return AdmissionOutcome::kShedQueueFull;
+  }
+  if (deadline != TimePoint::max()) {
+    const auto est = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(estimated_wait_ms()));
+    if (now + est > deadline) return AdmissionOutcome::kShedDeadline;
+  }
+  return AdmissionOutcome::kAdmit;
+}
+
+void ShardAdmission::on_admit(Priority priority) {
+  ++queued_by_class_[static_cast<std::size_t>(priority)];
+  ++queued_total_;
+}
+
+void ShardAdmission::on_complete(Priority priority, double exec_ms_per_item) {
+  auto& cls = queued_by_class_[static_cast<std::size_t>(priority)];
+  if (cls > 0) --cls;
+  if (queued_total_ > 0) --queued_total_;
+  if (exec_ms_per_item > 0.0) {
+    cost_ms_ = (1.0 - config_.cost_ewma_alpha) * cost_ms_ +
+               config_.cost_ewma_alpha * exec_ms_per_item;
+  }
+}
+
+std::size_t ShardAdmission::queued(Priority priority) const {
+  return queued_by_class_[static_cast<std::size_t>(priority)];
+}
+
+double ShardAdmission::estimated_wait_ms() const {
+  return static_cast<double>(queued_total_ + 1) * cost_ms_ /
+         static_cast<double>(config_.drain_width);
+}
+
+}  // namespace laco::serve

@@ -1,0 +1,112 @@
+// Deadline-aware admission control for one service shard: the router
+// front door that decides, BEFORE a request touches a shard's batcher,
+// whether the shard can plausibly complete it. Three rejection-free
+// invariants fall out (docs/SERVING.md "Sharding & admission"):
+//
+//   * bounded queues — a shard never holds more than `queue_limit`
+//     admitted-but-uncompleted requests, so queue depth (and therefore
+//     tail latency) cannot grow without bound;
+//   * early deadline rejection — when the estimated completion time
+//     (queued work ÷ drain width × per-item cost) already overruns the
+//     request's deadline, the request fails with DeadlineExceededError
+//     *now*, before consuming queue space or a forward pass;
+//   * priority headroom — each priority class may only fill a
+//     configured fraction of the queue, so under saturation best-effort
+//     traffic is shed first and interactive traffic keeps claiming the
+//     reserved tail.
+//
+// The class is passive and externally synchronized (InferenceRouter
+// holds one per shard under its mutex) and every decision takes `now`
+// and the deadline as parameters — tests drive the whole state machine
+// with fake clocks, no hidden wall-clock reads (same design as
+// serve::CircuitBreaker).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace laco::serve {
+
+/// Request priority class. Lower value = more urgent. Priority affects
+/// ADMISSION only (reserved queue headroom under saturation); admitted
+/// requests execute in arrival order within their batch bucket.
+enum class Priority : int {
+  kInteractive = 0,  ///< placement-loop penalty forwards (a stalled iteration)
+  kBatch = 1,        ///< training / evaluation traffic
+  kBestEffort = 2,   ///< prefetch, speculative, refreshable work
+};
+
+constexpr int kNumPriorities = 3;
+
+const char* to_string(Priority priority);
+
+struct AdmissionConfig {
+  /// Hard cap on admitted-but-uncompleted requests per shard.
+  std::size_t queue_limit = 128;
+  /// Per-item execution cost estimate before any completion has been
+  /// observed (ms). The EWMA replaces it as real costs arrive.
+  double initial_cost_ms = 2.0;
+  /// EWMA weight of the newest observed per-item cost.
+  double cost_ewma_alpha = 0.2;
+  /// How many requests the shard drains in parallel (its worker-thread
+  /// count times the expected batch occupancy); divides the estimated
+  /// wait.
+  int drain_width = 4;
+  /// Fraction of queue_limit each priority class may fill. Interactive
+  /// traffic may use the full queue; batch and best-effort stop earlier
+  /// so the tail stays reserved for urgent work under saturation.
+  std::array<double, kNumPriorities> occupancy_limit = {1.0, 0.85, 0.6};
+
+  /// Clamps soft knobs to safe values (limit ≥ 1, width ≥ 1, alpha and
+  /// occupancies into [0, 1]); the router stores the validated copy.
+  AdmissionConfig validated() const;
+};
+
+enum class AdmissionOutcome {
+  kAdmit,
+  kShedQueueFull,  ///< class occupancy cap (or the hard limit) reached
+  kShedDeadline,   ///< estimated completion already past the deadline
+};
+
+const char* to_string(AdmissionOutcome outcome);
+
+class ShardAdmission {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit ShardAdmission(AdmissionConfig config = {});
+
+  /// Pure decision, no state change: would a `priority` request with
+  /// `deadline` be admitted at `now`? TimePoint::max() means no
+  /// deadline (the deadline check is skipped, bounds still apply).
+  AdmissionOutcome consider(Priority priority, TimePoint now, TimePoint deadline) const;
+
+  /// Accounts one admitted request (caller checked consider() first).
+  void on_admit(Priority priority);
+  /// Accounts one completed request. `exec_ms_per_item` is the shard's
+  /// observed per-item forward cost for that request's batch (≤ 0 when
+  /// the request never reached a forward, e.g. breaker-rejected — the
+  /// cost model then keeps its current estimate).
+  void on_complete(Priority priority, double exec_ms_per_item);
+
+  /// Admitted-but-uncompleted requests, total and per class.
+  std::size_t queued() const { return queued_total_; }
+  std::size_t queued(Priority priority) const;
+  /// Current EWMA of per-item execution cost (ms).
+  double cost_estimate_ms() const { return cost_ms_; }
+  /// Estimated time until a request admitted now would complete:
+  /// (queued + 1) × cost ÷ drain_width.
+  double estimated_wait_ms() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  std::array<std::size_t, kNumPriorities> queued_by_class_{};
+  std::size_t queued_total_ = 0;
+  double cost_ms_ = 0.0;
+};
+
+}  // namespace laco::serve

@@ -45,6 +45,10 @@ struct BatchItem {
   /// serve::DeadlineExceededError instead of burning a forward pass.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Caller-defined request tag, echoed verbatim in CompletionInfo.
+  /// The shard router stores the priority class here so its completion
+  /// hook can settle per-class admission accounting.
+  int tag = 0;
 };
 
 /// A cut batch, ready for execution: every item shares models, kind,

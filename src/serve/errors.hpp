@@ -28,4 +28,15 @@ class CircuitOpenError : public TransientError {
   explicit CircuitOpenError(const std::string& what) : TransientError(what) {}
 };
 
+/// The shard router refused the request at admission: every candidate
+/// shard's bounded queue is at its (priority-class) capacity. NOT a
+/// TransientError on purpose — an overloaded fleet must not absorb an
+/// immediate retry storm on top of the overload. Clients degrade
+/// instead (e.g. CongestionPenalty's analytic RUDY fallback) or retry
+/// after their own backoff.
+class ShedError : public std::runtime_error {
+ public:
+  explicit ShedError(const std::string& what) : std::runtime_error(what) {}
+};
+
 }  // namespace laco::serve

@@ -4,6 +4,9 @@
 #include <string>
 
 #include "laco/model_zoo.hpp"
+#include "models/congestion_fcn.hpp"
+#include "models/lookahead_simvp.hpp"
+#include "util/check.hpp"
 #include "util/failpoint.hpp"
 
 namespace laco::serve {
@@ -25,7 +28,40 @@ void invalidate_plans(const LacoModels& models) {
   if (models.lookahead) plan::shared_plan_cache().invalidate(models.lookahead.get());
 }
 
+/// Copies parameter values src → dst positionally. Both nets were built
+/// from the same config, so parameters() walks the same module tree in
+/// the same depth-first order; a count or shape mismatch is a bug.
+void copy_parameters(const nn::Module& src, const nn::Module& dst) {
+  const std::vector<nn::Tensor> from = src.parameters();
+  std::vector<nn::Tensor> to = dst.parameters();
+  LACO_CHECK(from.size() == to.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    LACO_CHECK(from[i].numel() == to[i].numel());
+    to[i].data() = from[i].data();
+  }
+}
+
 }  // namespace
+
+std::shared_ptr<const LacoModels> clone_frozen(const LacoModels& src) {
+  auto clone = std::make_shared<LacoModels>();
+  clone->scheme = src.scheme;
+  clone->scale_hi = src.scale_hi;
+  clone->scale_lo = src.scale_lo;
+  if (src.congestion) {
+    auto f = std::make_shared<CongestionFcn>(src.congestion->config());
+    copy_parameters(*src.congestion, *f);
+    freeze(*f);
+    clone->congestion = std::move(f);
+  }
+  if (src.lookahead) {
+    auto g = std::make_shared<LookAheadModel>(src.lookahead->config());
+    copy_parameters(*src.lookahead, *g);
+    freeze(*g);
+    clone->lookahead = std::move(g);
+  }
+  return clone;
+}
 
 std::size_t model_footprint_bytes(const LacoModels& models) {
   std::int64_t scalars = 0;

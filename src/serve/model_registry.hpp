@@ -43,6 +43,15 @@ struct RegistryStats {
 /// Approximate parameter footprint of a model set (float32 bytes).
 std::size_t model_footprint_bytes(const LacoModels& models);
 
+/// Deep-copies a model set: fresh networks rebuilt from each source
+/// net's config with the source's parameter values copied in, frozen
+/// (requires_grad = false) before publishing. The clone has DISTINCT
+/// pointer identity from the source, which is the point — the shard
+/// router hands each shard its own replica so batcher buckets,
+/// compiled-plan cache entries, and circuit breakers key per shard
+/// instead of aliasing across the fleet.
+std::shared_ptr<const LacoModels> clone_frozen(const LacoModels& src);
+
 class ModelRegistry {
  public:
   explicit ModelRegistry(RegistryConfig config = {});

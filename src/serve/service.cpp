@@ -10,6 +10,7 @@
 #include "serve/errors.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
+#include "util/timer.hpp"
 
 namespace laco::serve {
 namespace {
@@ -82,13 +83,15 @@ InferenceService::~InferenceService() {
 
 std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModels> models,
                                                  ModelKind kind,
-                                                 nn::Tensor input) {  // analyze-ok(tensor-by-value): sink
+                                                 nn::Tensor input,  // analyze-ok(tensor-by-value): sink
+                                                 int tag) {
   const auto now = std::chrono::steady_clock::now();
   BatchItem item;
   item.models = std::move(models);
   item.kind = kind;
   item.input = std::move(input);
   item.enqueue_time = now;
+  item.tag = tag;
   if (config_.deadline_ms > 0.0) {
     item.deadline =
         now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -115,6 +118,14 @@ std::future<nn::Tensor> InferenceService::submit(std::shared_ptr<const LacoModel
           std::string("InferenceService: circuit open for ") + to_string(kind) +
           " model, failing fast (cooldown " +
           std::to_string(breaker_it->second.config().cooldown_ms) + " ms)")));
+      lock.unlock();
+      if (config_.on_complete) {
+        CompletionInfo info;
+        info.kind = kind;
+        info.outcome = CompletionInfo::Outcome::kBreakerRejected;
+        info.tag = tag;
+        config_.on_complete(info);
+      }
       return future;
     }
 
@@ -157,9 +168,6 @@ std::chrono::duration<double, std::milli> InferenceService::backoff_delay(int at
 
 void InferenceService::execute(Batch batch) {
   const std::size_t n = batch.items.size();
-  std::vector<std::chrono::steady_clock::time_point> enqueued;
-  enqueued.reserve(n);
-  for (const BatchItem& item : batch.items) enqueued.push_back(item.enqueue_time);
 
   // Deadline triage: items already expired fail with a typed error now
   // instead of burning (a share of) a forward pass.
@@ -182,9 +190,11 @@ void InferenceService::execute(Batch batch) {
   bool attempted = false;
   bool succeeded = false;
   std::uint64_t retries_used = 0;
+  double exec_ms = 0.0;  ///< forward wall time, incl. retries/backoff
   if (!live.items.empty()) {
     attempted = true;
     obs::TraceSpan span("serve.execute_batch", "serve");
+    Timer exec_timer;
     for (int attempt = 0;; ++attempt) {
       try {
         const nn::Tensor output = forward_batch(live);
@@ -203,20 +213,53 @@ void InferenceService::execute(Batch batch) {
         break;
       }
     }
+    exec_ms = exec_timer.seconds() * 1e3;
   }
 
   const auto now = std::chrono::steady_clock::now();
+  const auto latency_of = [&now](const BatchItem& item) {
+    return std::chrono::duration<double, std::milli>(now - item.enqueue_time).count();
+  };
+
+  // Completion reports — after the promises resolved, with no lock held
+  // (the hook may take the router's lock; never nest it under ours),
+  // and BEFORE the in_flight decrement below: drain() returning must
+  // imply every hook has run, or router-side accounting would trail.
+  if (config_.on_complete) {
+    const double exec_per_item =
+        live.items.empty() ? 0.0 : exec_ms / static_cast<double>(live.items.size());
+    CompletionInfo info;
+    for (const BatchItem& item : expired.items) {
+      info.kind = item.kind;
+      info.outcome = CompletionInfo::Outcome::kDeadlineExpired;
+      info.tag = item.tag;
+      info.latency_ms = latency_of(item);
+      info.exec_ms_per_item = 0.0;
+      config_.on_complete(info);
+    }
+    for (const BatchItem& item : live.items) {
+      info.kind = item.kind;
+      info.outcome = succeeded ? CompletionInfo::Outcome::kOk : CompletionInfo::Outcome::kError;
+      info.tag = item.tag;
+      info.latency_ms = latency_of(item);
+      info.exec_ms_per_item = exec_per_item;
+      config_.on_complete(info);
+    }
+  }
+
   {
     MutexLock lock(mutex_);
-    for (const auto& t0 : enqueued) {
-      const double ms = std::chrono::duration<double, std::milli>(now - t0).count();
-      metrics_.latency_ms.observe(ms);
-      if (latencies_ms_.size() < config_.latency_reservoir) {
-        latencies_ms_.push_back(ms);
-      } else {
-        latencies_ms_[latency_next_ % config_.latency_reservoir] = ms;
+    for (const Batch* part : {&expired, &live}) {
+      for (const BatchItem& item : part->items) {
+        const double ms = latency_of(item);
+        metrics_.latency_ms.observe(ms);
+        if (latencies_ms_.size() < config_.latency_reservoir) {
+          latencies_ms_.push_back(ms);
+        } else {
+          latencies_ms_[latency_next_ % config_.latency_reservoir] = ms;
+        }
+        ++latency_next_;
       }
-      ++latency_next_;
     }
     counters_.completed += n;
     counters_.in_flight -= n;

@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -50,6 +51,33 @@
 
 namespace laco::serve {
 
+/// Per-request completion report, delivered through
+/// ServiceConfig::on_complete right after the request's promise
+/// resolves. The router uses it to keep per-shard admission accounting
+/// and cost estimates without polling or wrapper threads.
+struct CompletionInfo {
+  enum class Outcome {
+    kOk,               ///< promise fulfilled with a tensor
+    kError,            ///< promise failed (model error, exhausted retries)
+    kDeadlineExpired,  ///< triaged out before the forward pass
+    kBreakerRejected,  ///< failed fast at submit (circuit open)
+  };
+  ModelKind kind = ModelKind::kCongestion;
+  Outcome outcome = Outcome::kOk;
+  int tag = 0;                       ///< the caller's submit() tag, echoed
+  double latency_ms = 0.0;           ///< submit → promise resolution
+  /// Forward wall time divided by the batch's live item count; 0 when
+  /// the request never reached a forward pass. Feeds the router's
+  /// per-item cost EWMA (serve/admission.hpp).
+  double exec_ms_per_item = 0.0;
+};
+
+/// Invoked once per request, after its promise has resolved, from the
+/// worker (or submitting) thread, with no service lock held. Must be
+/// thread-safe and cheap; it sits on the completion path of every
+/// request.
+using CompletionHook = std::function<void(const CompletionInfo&)>;
+
 struct ServiceConfig {
   int num_threads = 4;              ///< worker pool size
   std::size_t queue_capacity = 256; ///< bounded batch queue (backpressure)
@@ -63,6 +91,7 @@ struct ServiceConfig {
   double retry_backoff_max_ms = 20.0;  ///< backoff growth cap
   std::uint64_t retry_jitter_seed = 0x1ac0;  ///< deterministic backoff jitter
   BreakerConfig breaker;           ///< per-(model set, kind) circuit breaker
+  CompletionHook on_complete;      ///< per-request completion callback (may be null)
 
   /// Smallest accepted linger: the flusher wakes every max_linger_ms/2,
   /// so a zero linger would degenerate into a busy loop.
@@ -136,8 +165,10 @@ class InferenceService {
   /// by value and must not be mutated by the caller afterwards. The
   /// future yields the [1, C_out, H, W] output or a typed error
   /// (serve/errors.hpp) — it always resolves, even under faults.
+  /// `tag` is an opaque caller value echoed in CompletionInfo.
   std::future<nn::Tensor> submit(std::shared_ptr<const LacoModels> models, ModelKind kind,
-                                 nn::Tensor input)  // analyze-ok(tensor-by-value): sink, moved into the batch
+                                 nn::Tensor input,  // analyze-ok(tensor-by-value): sink, moved into the batch
+                                 int tag = 0)
       LACO_EXCLUDES(mutex_);
 
   /// Blocks until every submitted request has completed.

@@ -1,0 +1,263 @@
+#include "serve/shard_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "serve/errors.hpp"
+#include "serve/model_registry.hpp"
+
+namespace laco::serve {
+namespace {
+
+/// splitmix64 finalizer — deterministic power-of-two-choices candidate
+/// stream (same construction as service.cpp's retry jitter).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string shard_metric(int i, const char* leaf) {
+  return "serve.shard." + std::to_string(i) + "." + leaf;
+}
+
+}  // namespace
+
+RouterConfig RouterConfig::validated() const {
+  RouterConfig v = *this;
+  v.num_shards = std::max(1, v.num_shards);
+  v.shard = v.shard.validated();
+  v.admission = v.admission.validated();
+  return v;
+}
+
+RouterMetrics::RouterMetrics(obs::MetricRegistry& registry, int num_shards)
+    : requests(registry.counter("serve.router.requests")),
+      admitted(registry.counter("serve.router.admitted")),
+      shed(registry.counter("serve.router.shed")),
+      shed_queue_full(registry.counter("serve.router.shed_queue_full")),
+      shed_deadline(registry.counter("serve.router.shed_deadline")),
+      completed(registry.counter("serve.router.completed")),
+      est_wait_ms(registry.histogram("serve.router.est_wait_ms")) {
+  for (int c = 0; c < kNumPriorities; ++c) {
+    const char* cls = to_string(static_cast<Priority>(c));
+    admitted_by_class[static_cast<std::size_t>(c)] =
+        &registry.counter(std::string("serve.router.admitted.") + cls);
+    shed_by_class[static_cast<std::size_t>(c)] =
+        &registry.counter(std::string("serve.router.shed.") + cls);
+  }
+  shard_queued.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shard_queued.push_back(&registry.gauge(shard_metric(i, "queued")));
+  }
+}
+
+InferenceRouter::InferenceRouter(RouterConfig config)
+    : config_(config.validated()),
+      metrics_(obs::MetricRegistry::global(), config_.num_shards) {
+  shards_.reserve(static_cast<std::size_t>(config_.num_shards));
+  {
+    MutexLock lock(mutex_);
+    admissions_.reserve(static_cast<std::size_t>(config_.num_shards));
+    for (int i = 0; i < config_.num_shards; ++i) {
+      admissions_.emplace_back(config_.admission);
+    }
+  }
+  for (int i = 0; i < config_.num_shards; ++i) {
+    ServiceConfig shard_config = config_.shard;
+    shard_config.on_complete = [this, i](const CompletionInfo& info) {
+      on_shard_complete(i, info);
+    };
+    shards_.push_back(std::make_unique<InferenceService>(std::move(shard_config)));
+  }
+}
+
+InferenceRouter::~InferenceRouter() {
+  // Shards drain in their own destructors; draining here first keeps
+  // completion hooks (which touch this router) finished before any
+  // member is torn down.
+  drain();
+}
+
+std::future<nn::Tensor> InferenceRouter::submit(std::shared_ptr<const LacoModels> models,
+                                                ModelKind kind,
+                                                nn::Tensor input,  // analyze-ok(tensor-by-value): sink
+                                                Priority priority) {
+  obs::TraceSpan span("serve.router.submit", "serve");
+  const auto now = std::chrono::steady_clock::now();
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (config_.shard.deadline_ms > 0.0) {
+    deadline = now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(config_.shard.deadline_ms));
+  }
+  const auto cls = static_cast<std::size_t>(priority);
+
+  int chosen = -1;
+  auto outcome = AdmissionOutcome::kAdmit;
+  double est_wait_ms = 0.0;
+  std::shared_ptr<const LacoModels> routed;
+  {
+    MutexLock lock(mutex_);
+    ++counters_.requests;
+    metrics_.requests.add(1);
+
+    // Power-of-two-choices: two candidates from the deterministic
+    // stream, the smaller estimated wait evaluated first. When the
+    // better candidate sheds for capacity the other may still admit
+    // (its class cap is per shard); a deadline shed on the less-loaded
+    // shard is final — the other's estimate is only worse.
+    const auto n = static_cast<std::uint64_t>(shards_.size());
+    const std::uint64_t draw = pick_counter_++;
+    int a = static_cast<int>(mix64(config_.p2c_seed ^ (2 * draw)) % n);
+    int b = static_cast<int>(mix64(config_.p2c_seed ^ (2 * draw + 1)) % n);
+    if (admissions_[static_cast<std::size_t>(b)].estimated_wait_ms() <
+        admissions_[static_cast<std::size_t>(a)].estimated_wait_ms()) {
+      std::swap(a, b);
+    }
+    chosen = a;
+    outcome = admissions_[static_cast<std::size_t>(a)].consider(priority, now, deadline);
+    if (outcome == AdmissionOutcome::kShedQueueFull && b != a) {
+      const auto alt = admissions_[static_cast<std::size_t>(b)].consider(priority, now, deadline);
+      if (alt == AdmissionOutcome::kAdmit) {
+        chosen = b;
+        outcome = alt;
+      }
+    }
+    ShardAdmission& admission = admissions_[static_cast<std::size_t>(chosen)];
+    est_wait_ms = admission.estimated_wait_ms();
+    if (outcome == AdmissionOutcome::kAdmit) {
+      admission.on_admit(priority);
+      ++counters_.admitted;
+      ++counters_.admitted_by_class[cls];
+      metrics_.admitted.add(1);
+      metrics_.admitted_by_class[cls]->add(1);
+      metrics_.est_wait_ms.observe(est_wait_ms);
+      metrics_.shard_queued[static_cast<std::size_t>(chosen)]->set(
+          static_cast<double>(admission.queued()));
+      routed = replica_locked(models, chosen);
+    } else {
+      ++counters_.shed;
+      ++counters_.shed_by_class[cls];
+      metrics_.shed.add(1);
+      metrics_.shed_by_class[cls]->add(1);
+      if (outcome == AdmissionOutcome::kShedQueueFull) {
+        ++counters_.shed_queue_full;
+        metrics_.shed_queue_full.add(1);
+      } else {
+        ++counters_.shed_deadline;
+        metrics_.shed_deadline.add(1);
+      }
+    }
+  }
+
+  if (outcome != AdmissionOutcome::kAdmit) {
+    // Shed: the future fails immediately, before the request touches
+    // any shard — no queue space consumed, no forward pass burned.
+    std::promise<nn::Tensor> promise;
+    std::future<nn::Tensor> future = promise.get_future();
+    if (outcome == AdmissionOutcome::kShedQueueFull) {
+      promise.set_exception(std::make_exception_ptr(
+          ShedError(std::string("InferenceRouter: shed ") + to_string(priority) +
+                    " request — shard queues at class capacity")));
+    } else {
+      promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
+          "InferenceRouter: deadline (" + std::to_string(config_.shard.deadline_ms) +
+          " ms) unmeetable at admission (estimated wait " + std::to_string(est_wait_ms) +
+          " ms on shard " + std::to_string(chosen) + ")")));
+    }
+    return future;
+  }
+
+  // Mutex released above on purpose: shard submit can block on pool
+  // backpressure, and its completion hooks re-enter this router.
+  return shards_[static_cast<std::size_t>(chosen)]->submit(std::move(routed), kind,
+                                                           std::move(input),
+                                                           static_cast<int>(priority));
+}
+
+void InferenceRouter::on_shard_complete(int i, const CompletionInfo& info) {
+  // The tag is the priority class we stamped at submit; anything else
+  // means the shard was used directly (introspection/tests) — account
+  // it to the default class so totals still balance.
+  const auto pri = (info.tag >= 0 && info.tag < kNumPriorities)
+                       ? static_cast<Priority>(info.tag)
+                       : Priority::kBatch;
+  MutexLock lock(mutex_);
+  ShardAdmission& admission = admissions_[static_cast<std::size_t>(i)];
+  admission.on_complete(pri, info.exec_ms_per_item);
+  ++counters_.completed;
+  metrics_.completed.add(1);
+  metrics_.shard_queued[static_cast<std::size_t>(i)]->set(
+      static_cast<double>(admission.queued()));
+}
+
+std::shared_ptr<const LacoModels> InferenceRouter::replica_locked(
+    const std::shared_ptr<const LacoModels>& models, int i) {
+  if (!config_.replicate_models || shards_.size() == 1) return models;
+  auto it = replicas_.find(models.get());
+  if (it == replicas_.end()) {
+    // First sight of this model set: clone one frozen replica per extra
+    // shard, under the router mutex. One-time cost per set (parameter
+    // copy); concurrent submits of the same set stall behind it instead
+    // of racing to clone.
+    std::vector<std::shared_ptr<const LacoModels>> reps;
+    reps.reserve(shards_.size());
+    reps.push_back(models);
+    for (std::size_t s = 1; s < shards_.size(); ++s) reps.push_back(clone_frozen(*models));
+    it = replicas_.emplace(models.get(), std::move(reps)).first;
+    ++counters_.replicated_model_sets;
+  }
+  return it->second[static_cast<std::size_t>(i)];
+}
+
+void InferenceRouter::drain() {
+  for (const auto& shard : shards_) shard->drain();
+}
+
+RouterCounters InferenceRouter::counters() const {
+  MutexLock lock(mutex_);
+  return counters_;
+}
+
+std::size_t InferenceRouter::shard_queued(int i) const {
+  MutexLock lock(mutex_);
+  return admissions_.at(static_cast<std::size_t>(i)).queued();
+}
+
+double InferenceRouter::shard_cost_estimate_ms(int i) const {
+  MutexLock lock(mutex_);
+  return admissions_.at(static_cast<std::size_t>(i)).cost_estimate_ms();
+}
+
+std::vector<double> InferenceRouter::latency_snapshot_ms() const {
+  std::vector<double> merged;
+  for (const auto& shard : shards_) {
+    const std::vector<double> part = shard->latency_snapshot_ms();
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  return merged;
+}
+
+std::shared_ptr<const LacoModels> InferenceRouter::replica(
+    const std::shared_ptr<const LacoModels>& models, int i) const {
+  MutexLock lock(mutex_);
+  const auto it = replicas_.find(models.get());
+  if (it == replicas_.end()) return models;
+  return it->second.at(static_cast<std::size_t>(i));
+}
+
+RemoteCongestionForward make_penalty_remote(InferenceRouter& router,
+                                            std::shared_ptr<const LacoModels> models,
+                                            Priority priority) {
+  return [&router, models = std::move(models), priority](const nn::Tensor& f_input) {
+    // .get() rethrows the shard-side (or shed) error into the caller —
+    // CongestionPenalty catches it and falls back to its local path.
+    return router.submit(models, ModelKind::kCongestion, f_input, priority).get();
+  };
+}
+
+}  // namespace laco::serve

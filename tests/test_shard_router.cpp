@@ -1,0 +1,463 @@
+// Tests for the sharded serving layer (src/serve/shard_router.*,
+// src/serve/admission.*): deterministic fake-clock admission control
+// (bounded queues, early deadline rejection, priority headroom), the
+// router's exact shed accounting, per-shard model replication, the
+// per-request completion hook, and the CongestionPenalty remote-forward
+// delegation with local fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "laco/congestion_penalty.hpp"
+#include "laco/model_zoo.hpp"
+#include "netlist/generator.hpp"
+#include "obs/metrics.hpp"
+#include "serve/admission.hpp"
+#include "serve/errors.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/service.hpp"
+#include "serve/shard_router.hpp"
+#include "util/mutex.hpp"
+
+namespace laco {
+namespace {
+
+using namespace std::chrono_literals;
+using TimePoint = serve::ShardAdmission::TimePoint;
+
+// ---------------------------------------------------------------- fixtures
+
+std::shared_ptr<const LacoModels> tiny_models(LacoScheme scheme, unsigned seed = 901) {
+  auto models = std::make_shared<LacoModels>();
+  models->scheme = scheme;
+  CongestionFcnConfig fc;
+  fc.in_channels = f_in_channels(scheme);
+  fc.base_width = 4;
+  nn::reset_init_seed(seed);
+  models->congestion = std::make_shared<CongestionFcn>(fc);
+  if (traits_of(scheme).uses_lookahead) {
+    LookAheadConfig gc;
+    gc.frames = 3;
+    gc.channels_per_frame = g_channels(scheme);
+    gc.base_width = 8;
+    gc.inception_blocks = 1;
+    gc.with_vae = traits_of(scheme).uses_vae;
+    models->lookahead = std::make_shared<LookAheadModel>(gc);
+  }
+  for (nn::Tensor p : models->congestion->parameters()) p.set_requires_grad(false);
+  if (models->lookahead) {
+    for (nn::Tensor p : models->lookahead->parameters()) p.set_requires_grad(false);
+  }
+  return models;
+}
+
+nn::Tensor random_input(int channels, int hw, unsigned seed) {
+  nn::Tensor t = nn::Tensor::zeros({1, channels, hw, hw});
+  unsigned state = seed * 2654435761u + 1u;
+  for (float& v : t.data()) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<float>(state >> 8) / static_cast<float>(1u << 24);
+  }
+  return t;
+}
+
+/// Router whose single shard cannot drain during submission: one
+/// worker, a huge batch size, and a long linger hold every admitted
+/// request in the batcher until drain() forces the flush — admission
+/// decisions under a synchronous burst become fully deterministic.
+serve::RouterConfig parked_router_config(std::size_t queue_limit) {
+  serve::RouterConfig rc;
+  rc.num_shards = 1;
+  rc.shard.num_threads = 1;
+  rc.shard.batcher.max_batch = 1024;
+  rc.shard.batcher.max_linger_ms = 60'000.0;
+  rc.admission.queue_limit = queue_limit;
+  // Class headroom off by default so tests reason about the hard limit
+  // alone; the priority test overrides this.
+  rc.admission.occupancy_limit = {1.0, 1.0, 1.0};
+  return rc;
+}
+
+// --------------------------------------------------------- ShardAdmission
+
+TEST(ShardAdmission, BoundedQueueRejectsAtLimit) {
+  serve::AdmissionConfig ac;
+  ac.queue_limit = 4;
+  ac.occupancy_limit = {1.0, 1.0, 1.0};
+  serve::ShardAdmission admission(ac);
+  const TimePoint now{};  // fake clock: epoch
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(admission.consider(serve::Priority::kInteractive, now, TimePoint::max()),
+              serve::AdmissionOutcome::kAdmit);
+    admission.on_admit(serve::Priority::kInteractive);
+  }
+  EXPECT_EQ(admission.queued(), 4u);
+  EXPECT_EQ(admission.consider(serve::Priority::kInteractive, now, TimePoint::max()),
+            serve::AdmissionOutcome::kShedQueueFull);
+  // A completion frees a slot.
+  admission.on_complete(serve::Priority::kInteractive, 1.0);
+  EXPECT_EQ(admission.consider(serve::Priority::kInteractive, now, TimePoint::max()),
+            serve::AdmissionOutcome::kAdmit);
+}
+
+TEST(ShardAdmission, DeadlineRejectedBeforeEnqueue) {
+  serve::AdmissionConfig ac;
+  ac.queue_limit = 100;
+  ac.initial_cost_ms = 100.0;
+  ac.drain_width = 1;
+  serve::ShardAdmission admission(ac);
+  const TimePoint now{};
+  for (int i = 0; i < 3; ++i) admission.on_admit(serve::Priority::kBatch);
+  // Estimated wait: (3 queued + 1) x 100 ms / width 1 = 400 ms.
+  EXPECT_DOUBLE_EQ(admission.estimated_wait_ms(), 400.0);
+  EXPECT_EQ(admission.consider(serve::Priority::kBatch, now, now + 300ms),
+            serve::AdmissionOutcome::kShedDeadline);
+  EXPECT_EQ(admission.consider(serve::Priority::kBatch, now, now + 500ms),
+            serve::AdmissionOutcome::kAdmit);
+  // No deadline: the estimate is irrelevant.
+  EXPECT_EQ(admission.consider(serve::Priority::kBatch, now, TimePoint::max()),
+            serve::AdmissionOutcome::kAdmit);
+}
+
+TEST(ShardAdmission, PriorityClassesKeepReservedHeadroom) {
+  serve::AdmissionConfig ac;
+  ac.queue_limit = 10;
+  ac.occupancy_limit = {1.0, 0.8, 0.5};
+  serve::ShardAdmission admission(ac);
+  const TimePoint now{};
+  const auto admit_all = [&](serve::Priority pri, int want) {
+    int got = 0;
+    while (admission.consider(pri, now, TimePoint::max()) == serve::AdmissionOutcome::kAdmit) {
+      admission.on_admit(pri);
+      ++got;
+    }
+    EXPECT_EQ(got, want) << "class " << serve::to_string(pri);
+  };
+  // Best-effort fills only half the queue; batch up to 80%; interactive
+  // claims the reserved tail up to the hard limit.
+  admit_all(serve::Priority::kBestEffort, 5);
+  EXPECT_EQ(admission.consider(serve::Priority::kBestEffort, now, TimePoint::max()),
+            serve::AdmissionOutcome::kShedQueueFull);
+  admit_all(serve::Priority::kBatch, 3);
+  admit_all(serve::Priority::kInteractive, 2);
+  EXPECT_EQ(admission.queued(), 10u);
+  EXPECT_EQ(admission.consider(serve::Priority::kInteractive, now, TimePoint::max()),
+            serve::AdmissionOutcome::kShedQueueFull);
+  EXPECT_EQ(admission.queued(serve::Priority::kBestEffort), 5u);
+  EXPECT_EQ(admission.queued(serve::Priority::kBatch), 3u);
+  EXPECT_EQ(admission.queued(serve::Priority::kInteractive), 2u);
+}
+
+TEST(ShardAdmission, CostEwmaTracksObservedCompletions) {
+  serve::AdmissionConfig ac;
+  ac.initial_cost_ms = 2.0;
+  ac.cost_ewma_alpha = 0.5;
+  serve::ShardAdmission admission(ac);
+  admission.on_admit(serve::Priority::kBatch);
+  admission.on_complete(serve::Priority::kBatch, 10.0);
+  EXPECT_DOUBLE_EQ(admission.cost_estimate_ms(), 6.0);
+  // A completion that never reached a forward (exec <= 0) must not
+  // drag the estimate toward zero.
+  admission.on_admit(serve::Priority::kBatch);
+  admission.on_complete(serve::Priority::kBatch, 0.0);
+  EXPECT_DOUBLE_EQ(admission.cost_estimate_ms(), 6.0);
+}
+
+TEST(ShardAdmission, ValidatedForcesUrgentClassFullQueue) {
+  serve::AdmissionConfig ac;
+  ac.occupancy_limit = {0.1, 2.0, -1.0};
+  const serve::AdmissionConfig v = ac.validated();
+  EXPECT_DOUBLE_EQ(v.occupancy_limit[0], 1.0);  // urgent class owns the whole queue
+  EXPECT_DOUBLE_EQ(v.occupancy_limit[1], 1.0);  // clamped into [0, 1]
+  EXPECT_DOUBLE_EQ(v.occupancy_limit[2], 0.0);
+}
+
+// -------------------------------------------------------- InferenceRouter
+
+TEST(InferenceRouter, MatchesLocalForwardAcrossShards) {
+  const auto models = tiny_models(LacoScheme::kDreamCong);
+  const int channels = models->congestion->config().in_channels;
+  serve::RouterConfig rc;
+  rc.num_shards = 2;
+  rc.shard.num_threads = 2;
+  rc.shard.batcher.max_batch = 4;
+  rc.shard.batcher.max_linger_ms = 0.5;
+  serve::InferenceRouter router(rc);
+
+  std::vector<nn::Tensor> inputs;
+  for (int i = 0; i < 24; ++i) inputs.push_back(random_input(channels, 8, 100 + i));
+  std::vector<std::future<nn::Tensor>> futures;
+  for (const nn::Tensor& in : inputs) {
+    futures.push_back(router.submit(models, serve::ModelKind::kCongestion, in));
+  }
+  double max_err = 0.0;
+  {
+    nn::NoGradGuard guard;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const nn::Tensor expect = models->congestion->forward(inputs[i]);
+      const nn::Tensor got = futures[i].get();
+      ASSERT_EQ(got.numel(), expect.numel());
+      for (std::size_t k = 0; k < expect.data().size(); ++k) {
+        max_err = std::max(max_err,
+                           static_cast<double>(std::abs(got.data()[k] - expect.data()[k])));
+      }
+    }
+  }
+  EXPECT_LE(max_err, 1e-5);
+  router.drain();
+  const serve::RouterCounters rcnt = router.counters();
+  EXPECT_EQ(rcnt.requests, 24u);
+  EXPECT_EQ(rcnt.admitted, 24u);
+  EXPECT_EQ(rcnt.completed, 24u);
+  EXPECT_EQ(rcnt.shed, 0u);
+  // Both shards saw traffic (p2c spreads a 24-request burst).
+  EXPECT_GT(router.shard(0).counters().requests, 0u);
+  EXPECT_GT(router.shard(1).counters().requests, 0u);
+  EXPECT_EQ(router.shard_queued(0), 0u);
+  EXPECT_EQ(router.shard_queued(1), 0u);
+}
+
+TEST(InferenceRouter, UnmeetableDeadlineShedsEveryRequestBeforeEnqueue) {
+  const auto models = tiny_models(LacoScheme::kDreamCong);
+  const int channels = models->congestion->config().in_channels;
+  serve::RouterConfig rc = parked_router_config(64);
+  rc.shard.deadline_ms = 5.0;
+  rc.admission.initial_cost_ms = 1e6;  // no deadline is ever meetable
+  obs::Counter& shed_counter = obs::MetricRegistry::global().counter("serve.router.shed");
+  const std::uint64_t shed_before = shed_counter.value();
+  serve::InferenceRouter router(rc);
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    std::future<nn::Tensor> f =
+        router.submit(models, serve::ModelKind::kCongestion, random_input(channels, 8, 7u + i));
+    // Shed at admission: the future is ready immediately, no shard or
+    // queue slot was ever touched.
+    ASSERT_EQ(f.wait_for(0ms), std::future_status::ready);
+    EXPECT_THROW(f.get(), serve::DeadlineExceededError);
+  }
+  const serve::RouterCounters rcnt = router.counters();
+  EXPECT_EQ(rcnt.requests, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(rcnt.shed, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(rcnt.shed_deadline, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(rcnt.shed_queue_full, 0u);
+  EXPECT_EQ(rcnt.admitted, 0u);
+  EXPECT_EQ(router.shard(0).counters().requests, 0u);
+  // serve.router.shed incremented exactly once per shed request.
+  EXPECT_EQ(shed_counter.value() - shed_before, static_cast<std::uint64_t>(n));
+}
+
+TEST(InferenceRouter, QueueFullShedsWithShedError) {
+  const auto models = tiny_models(LacoScheme::kDreamCong);
+  const int channels = models->congestion->config().in_channels;
+  serve::InferenceRouter router(parked_router_config(2));
+  std::vector<std::future<nn::Tensor>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(
+        router.submit(models, serve::ModelKind::kCongestion, random_input(channels, 8, 40u + i)));
+  }
+  // The first two are parked in the batcher; the rest shed immediately.
+  int shed = 0;
+  for (auto& f : futures) {
+    if (f.wait_for(0ms) != std::future_status::ready) continue;
+    EXPECT_THROW(f.get(), serve::ShedError);
+    ++shed;
+  }
+  EXPECT_EQ(shed, 3);
+  router.drain();  // the two parked requests complete
+  const serve::RouterCounters rcnt = router.counters();
+  EXPECT_EQ(rcnt.admitted, 2u);
+  EXPECT_EQ(rcnt.shed, 3u);
+  EXPECT_EQ(rcnt.shed_queue_full, 3u);
+  EXPECT_EQ(rcnt.completed, 2u);
+  EXPECT_EQ(router.shard_queued(0), 0u);
+}
+
+TEST(InferenceRouter, PriorityHeadroomHonoredUnderSaturation) {
+  const auto models = tiny_models(LacoScheme::kDreamCong);
+  const int channels = models->congestion->config().in_channels;
+  serve::RouterConfig rc = parked_router_config(10);
+  rc.admission.occupancy_limit = {1.0, 0.8, 0.5};
+  serve::InferenceRouter router(rc);
+  unsigned seed = 60;
+  const auto burst = [&](serve::Priority pri, int count) {
+    int admitted = 0;
+    for (int i = 0; i < count; ++i) {
+      std::future<nn::Tensor> f = router.submit(
+          models, serve::ModelKind::kCongestion, random_input(channels, 8, seed++), pri);
+      if (f.wait_for(0ms) != std::future_status::ready) {
+        ++admitted;  // parked in the batcher, will resolve on drain
+      } else {
+        EXPECT_THROW(f.get(), serve::ShedError);
+      }
+    }
+    return admitted;
+  };
+  // Saturation floods lowest priority first; each class stops at its
+  // occupancy cap and interactive claims the reserved tail.
+  EXPECT_EQ(burst(serve::Priority::kBestEffort, 8), 5);
+  EXPECT_EQ(burst(serve::Priority::kBatch, 8), 3);
+  EXPECT_EQ(burst(serve::Priority::kInteractive, 8), 2);
+  const serve::RouterCounters rcnt = router.counters();
+  EXPECT_EQ(rcnt.admitted_by_class[0], 2u);
+  EXPECT_EQ(rcnt.admitted_by_class[1], 3u);
+  EXPECT_EQ(rcnt.admitted_by_class[2], 5u);
+  EXPECT_EQ(rcnt.shed_by_class[0], 6u);
+  EXPECT_EQ(rcnt.shed_by_class[1], 5u);
+  EXPECT_EQ(rcnt.shed_by_class[2], 3u);
+  router.drain();
+  EXPECT_EQ(router.counters().completed, 10u);
+}
+
+TEST(InferenceRouter, ReplicatesModelSetsPerShard) {
+  const auto models = tiny_models(LacoScheme::kDreamCong);
+  const int channels = models->congestion->config().in_channels;
+  serve::RouterConfig rc;
+  rc.num_shards = 2;
+  rc.shard.num_threads = 1;
+  rc.shard.batcher.max_batch = 1;
+  serve::InferenceRouter router(rc);
+  for (int i = 0; i < 8; ++i) {
+    router.submit(models, serve::ModelKind::kCongestion, random_input(channels, 8, 70u + i))
+        .get();
+  }
+  router.drain();
+  EXPECT_EQ(router.counters().replicated_model_sets, 1u);
+  // Shard 0 serves the source set; shard 1 a distinct frozen clone with
+  // identical weights.
+  EXPECT_EQ(router.replica(models, 0), models);
+  const auto replica = router.replica(models, 1);
+  ASSERT_NE(replica, nullptr);
+  EXPECT_NE(replica, models);
+  EXPECT_NE(replica->congestion, models->congestion);
+  const auto src_params = models->congestion->parameters();
+  const auto rep_params = replica->congestion->parameters();
+  ASSERT_EQ(src_params.size(), rep_params.size());
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    EXPECT_FALSE(rep_params[i].requires_grad());
+    EXPECT_EQ(src_params[i].data(), rep_params[i].data());
+  }
+}
+
+TEST(CloneFrozen, ProducesIdenticalIndependentForward) {
+  const auto models = tiny_models(LacoScheme::kCellFlowKL);
+  const auto clone = serve::clone_frozen(*models);
+  ASSERT_NE(clone->congestion, nullptr);
+  ASSERT_NE(clone->lookahead, nullptr);
+  EXPECT_NE(clone->congestion, models->congestion);
+  EXPECT_NE(clone->lookahead, models->lookahead);
+  EXPECT_EQ(clone->scheme, models->scheme);
+  nn::NoGradGuard guard;
+  const nn::Tensor in = random_input(models->congestion->config().in_channels, 8, 5);
+  const nn::Tensor a = models->congestion->forward(in);
+  const nn::Tensor b = clone->congestion->forward(in);
+  EXPECT_EQ(a.data(), b.data());  // bitwise: same weights, same math
+}
+
+// --------------------------------------------------------- CompletionHook
+
+TEST(InferenceService, CompletionHookReportsPerRequest) {
+  const auto models = tiny_models(LacoScheme::kDreamCong);
+  const int channels = models->congestion->config().in_channels;
+  Mutex mu;
+  std::vector<serve::CompletionInfo> infos;
+  serve::ServiceConfig sc;
+  sc.num_threads = 1;
+  sc.batcher.max_batch = 2;
+  sc.batcher.max_linger_ms = 0.5;
+  sc.on_complete = [&](const serve::CompletionInfo& info) {
+    MutexLock lock(mu);
+    infos.push_back(info);
+  };
+  {
+    serve::InferenceService service(sc);
+    std::vector<std::future<nn::Tensor>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(service.submit(models, serve::ModelKind::kCongestion,
+                                       random_input(channels, 8, 80u + i), /*tag=*/7));
+    }
+    for (auto& f : futures) f.get();
+    service.drain();
+  }
+  MutexLock lock(mu);
+  ASSERT_EQ(infos.size(), 4u);
+  for (const serve::CompletionInfo& info : infos) {
+    EXPECT_EQ(info.outcome, serve::CompletionInfo::Outcome::kOk);
+    EXPECT_EQ(info.kind, serve::ModelKind::kCongestion);
+    EXPECT_EQ(info.tag, 7);
+    EXPECT_GE(info.latency_ms, 0.0);
+    EXPECT_GT(info.exec_ms_per_item, 0.0);  // a real forward ran
+  }
+}
+
+// --------------------------------------------------- penalty remote hook
+
+TEST(CongestionPenaltyRemote, RouterBackedPredictMatchesLocal) {
+  GeneratorConfig gcfg;
+  gcfg.num_cells = 60;
+  const Design d = generate_design(gcfg);
+  PenaltyConfig pc;
+  pc.features_hi = FeatureConfig{16, 16, QuasiVoxScheme::kWeightedSum, true};
+  pc.features_lo = FeatureConfig{8, 8, QuasiVoxScheme::kWeightedSum, true};
+  pc.frames = 3;
+  pc.spacing = 5;
+  const auto models = tiny_models(LacoScheme::kDreamCong, 77);
+
+  CongestionPenalty local(pc, *models);
+  GridMap expect;
+  ASSERT_TRUE(local.predict(d, expect));
+
+  serve::RouterConfig rc;
+  rc.num_shards = 2;
+  rc.shard.num_threads = 1;
+  serve::InferenceRouter router(rc);
+  CongestionPenalty remote(pc, *models);
+  remote.set_remote_forward(serve::make_penalty_remote(router, models));
+  GridMap got;
+  ASSERT_TRUE(remote.predict(d, got));
+  EXPECT_EQ(remote.stats().remote_forwards, 1u);
+  EXPECT_EQ(remote.stats().remote_fallbacks, 0u);
+  ASSERT_EQ(got.nx(), expect.nx());
+  ASSERT_EQ(got.ny(), expect.ny());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < expect.data().size(); ++i) {
+    max_err = std::max(max_err, std::abs(got.data()[i] - expect.data()[i]));
+  }
+  EXPECT_LE(max_err, 1e-5);
+}
+
+TEST(CongestionPenaltyRemote, ThrowingRemoteFallsBackLocally) {
+  GeneratorConfig gcfg;
+  gcfg.num_cells = 60;
+  const Design d = generate_design(gcfg);
+  PenaltyConfig pc;
+  pc.features_hi = FeatureConfig{16, 16, QuasiVoxScheme::kWeightedSum, true};
+  pc.features_lo = FeatureConfig{8, 8, QuasiVoxScheme::kWeightedSum, true};
+  pc.frames = 3;
+  pc.spacing = 5;
+  const auto models = tiny_models(LacoScheme::kDreamCong, 77);
+
+  CongestionPenalty local(pc, *models);
+  GridMap expect;
+  ASSERT_TRUE(local.predict(d, expect));
+
+  CongestionPenalty degraded(pc, *models);
+  degraded.set_remote_forward([](const nn::Tensor&) -> nn::Tensor {
+    throw serve::ShedError("remote fleet saturated");
+  });
+  GridMap got;
+  ASSERT_TRUE(degraded.predict(d, got));  // predict degrades, never fails
+  EXPECT_EQ(degraded.stats().remote_forwards, 0u);
+  EXPECT_EQ(degraded.stats().remote_fallbacks, 1u);
+  ASSERT_EQ(got.data().size(), expect.data().size());
+  for (std::size_t i = 0; i < expect.data().size(); ++i) {
+    ASSERT_NEAR(got.data()[i], expect.data()[i], 1e-9);  // identical local path
+  }
+}
+
+}  // namespace
+}  // namespace laco

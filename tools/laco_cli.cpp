@@ -24,7 +24,7 @@
 //
 //   laco serve [--models DIR] [--threads N] [--batch B] [--linger MS]
 //              [--requests R] [--clients C] [--grid G] [--kind K]
-//              [--stats-every-ms N] [--no-plan]
+//              [--stats-every-ms N] [--no-plan] [--shards N]
 //       Stands up the resident batched inference service, drives a
 //       synthetic request load against it (from C client threads), and
 //       prints a throughput / latency / batching report against the
@@ -32,15 +32,22 @@
 //       demo model set is used (throughput only, no trained weights).
 //       --no-plan disables the compiled-plan fast path (docs/PLAN.md)
 //       so forwards run eagerly — for A/B checks and bisection.
+//       --shards N fronts N independent service shards with the
+//       admission-controlled InferenceRouter (docs/SERVING.md).
 //
 //   laco serve --chaos RATE [--requests R] [--clients C] [--retries N]
-//              [--seed K] [...]
+//              [--seed K] [--shards N] [--queue-limit Q] [--saturate]
+//              [...]
 //       Chaos drill (docs/RELIABILITY.md): drives the service while
 //       injecting faults — the "serve.forward" failpoint at probability
 //       RATE when built with -DLACO_FAILPOINTS=ON, plus a RATE fraction
 //       of requests aimed at a deliberately broken model set in every
 //       build — and reports SLO stats. Exit 0 iff every request
 //       completed (result or clean typed error; no hung futures).
+//       With --shards N the load runs through the router; --saturate
+//       shrinks the per-shard queues (--queue-limit, default 16) and
+//       additionally requires shed > 0 with the p99 latency of admitted
+//       requests under --deadline: shed, don't collapse.
 //
 // The LACO_FAILPOINTS environment variable arms failpoints in any
 // subcommand, e.g. LACO_FAILPOINTS=registry.load=error laco place ...
@@ -52,6 +59,7 @@
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -71,6 +79,7 @@
 #include "serve/errors.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/service.hpp"
+#include "serve/shard_router.hpp"
 #include "util/errors.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
@@ -106,8 +115,8 @@ Args parse_args(int argc, char** argv, int first) {
     if (a.rfind("--", 0) == 0) {
       // Boolean flags take no value; anything else would swallow the
       // next token.
-      if (a == "--no-plan") {
-        args.options["no-plan"] = "1";
+      if (a == "--no-plan" || a == "--saturate") {
+        args.options[a.substr(2)] = "1";
         continue;
       }
       // Both spellings: --key value and --key=value.
@@ -407,6 +416,23 @@ int run_chaos(const Args& args, double rate) {
   const int clients = std::max(1, args.get_int("clients", 4));
   const int grid = args.get_int("grid", 16);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x1ac0));
+  const int shards = args.get_int("shards", 0);
+  const bool saturate = args.get_int("saturate", 0) != 0;
+  if (saturate && shards <= 0) {
+    std::cerr << "chaos: --saturate requires --shards N\n";
+    return 2;
+  }
+  // Saturation drill: admitted requests must still meet a deadline, so
+  // default one generous enough for CI machines when none was given.
+  if (saturate && sc.deadline_ms <= 0.0) sc.deadline_ms = 2000.0;
+  serve::RouterConfig rc;
+  rc.num_shards = shards;
+  rc.shard = sc;
+  // Queue bound: tight under --saturate so the burst sheds, effectively
+  // unbounded otherwise (the drill's burst must fit).
+  rc.admission.queue_limit = static_cast<std::size_t>(
+      std::max(1, args.get_int("queue-limit", saturate ? 16 : std::max(requests, 256))));
+  rc.admission.drain_width = sc.num_threads * std::max(1, sc.batcher.max_batch);
 
   const auto models = demo_models(false);
   // Natural fault injection that works in every build: a model set
@@ -448,12 +474,27 @@ int run_chaos(const Args& args, double rate) {
     inputs.push_back(std::move(t));
   }
 
-  std::atomic<int> ok{0}, transient{0}, deadline{0}, permanent{0}, hung{0};
+  std::atomic<int> ok{0}, transient{0}, deadline{0}, permanent{0}, shed{0}, hung{0};
   serve::ServiceCounters counters;
+  serve::RouterCounters router_counters;
   std::vector<double> latencies;
   double wall_s = 0.0;
   {
-    serve::InferenceService service(sc);
+    std::unique_ptr<serve::InferenceService> service;
+    std::unique_ptr<serve::InferenceRouter> router;
+    if (shards > 0) {
+      router = std::make_unique<serve::InferenceRouter>(rc);
+    } else {
+      service = std::make_unique<serve::InferenceService>(sc);
+    }
+    // Deterministic priority mix for the router path: every 4th request
+    // interactive, every 4th best-effort, the rest batch — under
+    // saturation the classes shed in reverse priority order.
+    const auto priority_of = [](std::size_t i) {
+      if (i % 4 == 0) return serve::Priority::kInteractive;
+      if (i % 4 == 3) return serve::Priority::kBestEffort;
+      return serve::Priority::kBatch;
+    };
     Timer timer;
     std::vector<std::thread> threads;
     for (int c = 0; c < clients; ++c) {
@@ -462,7 +503,10 @@ int run_chaos(const Args& args, double rate) {
         for (std::size_t i = static_cast<std::size_t>(c); i < inputs.size();
              i += static_cast<std::size_t>(clients)) {
           const auto& target = (i % static_cast<std::size_t>(stride) == 0) ? broken : models;
-          futures.push_back(service.submit(target, serve::ModelKind::kCongestion, inputs[i]));
+          futures.push_back(
+              router ? router->submit(target, serve::ModelKind::kCongestion, inputs[i],
+                                      priority_of(i))
+                     : service->submit(target, serve::ModelKind::kCongestion, inputs[i]));
         }
         for (auto& f : futures) {
           // The service contract says every future resolves; the wait
@@ -475,6 +519,8 @@ int run_chaos(const Args& args, double rate) {
           try {
             f.get();
             ++ok;
+          } catch (const serve::ShedError&) {
+            ++shed;  // admission rejected: queues at class capacity
           } catch (const serve::DeadlineExceededError&) {
             ++deadline;
           } catch (const TransientError&) {
@@ -487,9 +533,29 @@ int run_chaos(const Args& args, double rate) {
     }
     for (std::thread& t : threads) t.join();
     wall_s = timer.seconds();
-    service.drain();
-    counters = service.counters();
-    latencies = service.latency_snapshot_ms();
+    if (router) {
+      router->drain();
+      router_counters = router->counters();
+      latencies = router->latency_snapshot_ms();
+      for (int i = 0; i < router->num_shards(); ++i) {
+        const serve::ServiceCounters shard = router->shard(i).counters();
+        counters.batches += shard.batches;
+        counters.retried_batches += shard.retried_batches;
+        counters.failed_batches += shard.failed_batches;
+        counters.deadline_expired += shard.deadline_expired;
+        counters.breaker_rejected += shard.breaker_rejected;
+        counters.breaker_opens += shard.breaker_opens;
+        counters.breakers_open += shard.breakers_open;
+        std::cout << "shard " << i << ": " << shard.batches << " batches, "
+                  << shard.failed_batches << " failed, " << shard.breaker_opens
+                  << " breaker opens, " << shard.breakers_open << " breakers not closed, "
+                  << router->shard_queued(i) << " queued after drain\n";
+      }
+    } else {
+      service->drain();
+      counters = service->counters();
+      latencies = service->latency_snapshot_ms();
+    }
   }
   if (failpoints_compiled_in()) {
     const FailpointStats fp = FailpointRegistry::instance().stats("serve.forward");
@@ -498,20 +564,51 @@ int run_chaos(const Args& args, double rate) {
               << " evaluations\n";
   }
 
-  const int resolved = ok + transient + deadline + permanent;
+  const int resolved = ok + transient + deadline + permanent + shed;
   const double completion = 100.0 * resolved / std::max(1, requests);
+  const double p99 = serve::percentile(latencies, 99.0);
   std::cout << "chaos SLO: " << requests << " requests in " << wall_s << "s, " << completion
             << "% completed (" << ok << " ok, " << transient << " transient, " << deadline
-            << " deadline, " << permanent << " permanent, " << hung << " hung)\n"
+            << " deadline, " << permanent << " permanent, " << shed << " shed, " << hung
+            << " hung)\n"
             << "service: " << counters.batches << " batches, " << counters.retried_batches
             << " retried, " << counters.failed_batches << " failed, "
             << counters.deadline_expired << " expired, " << counters.breaker_rejected
             << " breaker-rejected, " << counters.breaker_opens << " breaker opens\n"
-            << "latency ms: p50 " << serve::percentile(latencies, 50.0) << ", p99 "
-            << serve::percentile(latencies, 99.0) << '\n';
-  const bool pass = hung == 0 && resolved == requests;
-  std::cout << (pass ? "chaos PASS: every request completed cleanly\n"
-                     : "chaos FAIL: some requests never resolved\n");
+            << "latency ms (admitted): p50 " << serve::percentile(latencies, 50.0) << ", p99 "
+            << p99 << '\n';
+  if (shards > 0) {
+    std::cout << "router: " << router_counters.admitted << " admitted, "
+              << router_counters.shed << " shed (" << router_counters.shed_queue_full
+              << " queue-full, " << router_counters.shed_deadline << " deadline), "
+              << router_counters.completed << " completed; shed by class:";
+    for (int c = 0; c < serve::kNumPriorities; ++c) {
+      std::cout << ' ' << serve::to_string(static_cast<serve::Priority>(c)) << '='
+                << router_counters.shed_by_class[static_cast<std::size_t>(c)];
+    }
+    std::cout << '\n';
+  }
+
+  bool pass = hung == 0 && resolved == requests;
+  if (!pass) std::cout << "chaos FAIL: some requests never resolved\n";
+  if (pass && saturate) {
+    // Shed-don't-collapse: under deliberate overload the router must
+    // reject some load at admission AND keep the p99 of what it DID
+    // admit inside the deadline.
+    if (router_counters.shed == 0) {
+      std::cout << "chaos FAIL: saturation drill shed nothing (queue-limit "
+                << rc.admission.queue_limit << " never filled)\n";
+      pass = false;
+    } else if (sc.deadline_ms > 0.0 && p99 > sc.deadline_ms) {
+      std::cout << "chaos FAIL: admitted-request p99 " << p99 << " ms exceeds the "
+                << sc.deadline_ms << " ms deadline\n";
+      pass = false;
+    }
+  }
+  if (pass) {
+    std::cout << (saturate ? "chaos PASS: every request resolved; shed, did not collapse\n"
+                           : "chaos PASS: every request completed cleanly\n");
+  }
   return pass ? 0 : 1;
 }
 
@@ -527,6 +624,7 @@ int cmd_serve(const Args& args) {
   const int requests = args.get_int("requests", 256);
   const int clients = std::max(1, args.get_int("clients", 4));
   const int grid = args.get_int("grid", 32);
+  const int shards = args.get_int("shards", 0);
   const std::string kind_name = args.get("kind", "congestion");
 
   std::shared_ptr<const LacoModels> models;
@@ -586,8 +684,23 @@ int cmd_serve(const Args& args) {
   // --stats-every-ms N: periodic metric-registry dumps while the load
   // runs (the migrated "serve.*" counters/gauges/histograms).
   const int stats_every_ms = args.get_int("stats-every-ms", 0);
+  serve::RouterCounters router_counters;
   {
-    serve::InferenceService service(sc);
+    std::unique_ptr<serve::InferenceService> local_service;
+    std::unique_ptr<serve::InferenceRouter> router;
+    if (shards > 0) {
+      serve::RouterConfig rc;
+      rc.num_shards = shards;
+      rc.shard = sc;
+      // Throughput mode must not shed: the whole burst is in flight at
+      // once, so the per-shard bound covers it unless overridden.
+      rc.admission.queue_limit = static_cast<std::size_t>(
+          std::max(1, args.get_int("queue-limit", std::max(requests, 256))));
+      rc.admission.drain_width = sc.num_threads * std::max(1, sc.batcher.max_batch);
+      router = std::make_unique<serve::InferenceRouter>(rc);
+    } else {
+      local_service = std::make_unique<serve::InferenceService>(sc);
+    }
     std::atomic<bool> stats_stop{false};
     std::thread stats_thread;
     if (stats_every_ms > 0) {
@@ -610,7 +723,8 @@ int cmd_serve(const Args& args) {
         for (std::size_t i = static_cast<std::size_t>(c); i < inputs.size();
              i += static_cast<std::size_t>(clients)) {
           futures[static_cast<std::size_t>(c)].emplace_back(
-              i, service.submit(models, kind, inputs[i]));
+              i, router ? router->submit(models, kind, inputs[i])
+                        : local_service->submit(models, kind, inputs[i]));
         }
       });
     }
@@ -619,9 +733,22 @@ int cmd_serve(const Args& args) {
       for (auto& [i, f] : per_client) served[i] = f.get();
     }
     service_s = timer.seconds();
-    service.drain();  // futures resolve before the service's bookkeeping
-    counters = service.counters();
-    latencies = service.latency_snapshot_ms();
+    if (router) {
+      router->drain();  // futures resolve before the router's bookkeeping
+      router_counters = router->counters();
+      latencies = router->latency_snapshot_ms();
+      for (int s = 0; s < router->num_shards(); ++s) {
+        const serve::ServiceCounters shard = router->shard(s).counters();
+        counters.requests += shard.requests;
+        counters.completed += shard.completed;
+        counters.batches += shard.batches;
+        counters.batched_items += shard.batched_items;
+      }
+    } else {
+      local_service->drain();  // futures resolve before the service's bookkeeping
+      counters = local_service->counters();
+      latencies = local_service->latency_snapshot_ms();
+    }
     if (stats_thread.joinable()) {
       stats_stop.store(true, std::memory_order_relaxed);
       stats_thread.join();
@@ -641,7 +768,14 @@ int cmd_serve(const Args& args) {
   std::cout << "model: " << serve::to_string(kind) << " [" << channels << 'x' << grid << 'x'
             << grid << "], " << requests << " requests, " << clients << " clients\n"
             << "service: threads=" << sc.num_threads << " max_batch=" << sc.batcher.max_batch
-            << " linger=" << sc.batcher.max_linger_ms << "ms\n"
+            << " linger=" << sc.batcher.max_linger_ms << "ms"
+            << (shards > 0 ? " shards=" + std::to_string(shards) : std::string()) << '\n';
+  if (shards > 0) {
+    std::cout << "router: " << router_counters.admitted << " admitted, "
+              << router_counters.shed << " shed, " << router_counters.replicated_model_sets
+              << " model set(s) replicated per shard\n";
+  }
+  std::cout
             << "baseline (1 thread, batch 1): " << base_rps << " req/s\n"
             << "service: " << serve_rps << " req/s (" << serve_rps / base_rps
             << "x), mean batch " << counters.mean_batch_size() << " over " << counters.batches
