@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/ops.hpp"
 #include "obs/metrics.hpp"
@@ -10,6 +11,7 @@
 #include "plan/plan_cache.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
+#include "util/serial.hpp"
 
 namespace laco {
 namespace {
@@ -393,6 +395,112 @@ bool CongestionPenalty::predict(const Design& design, GridMap& out) {
   if (!prediction.defined()) prediction = model_forward(hi_input, lo_input, context);
   out = tensor_to_gridmap(prediction, 0, 0, design.core());
   return true;
+}
+
+namespace {
+
+// Snapshot codec limits: frame grids are bounded by the feature
+// configs; anything past these is a corrupt length field.
+constexpr std::uint64_t kMaxSnapshotFrames = 64;
+constexpr int kMaxSnapshotGridSide = 1 << 14;
+
+void save_grid(serial::Writer& w, const GridMap& grid) {
+  w.i32(grid.nx());
+  w.i32(grid.ny());
+  const Rect& region = grid.region();
+  w.f64(region.xl);
+  w.f64(region.yl);
+  w.f64(region.xh);
+  w.f64(region.yh);
+  w.doubles(grid.data());
+}
+
+GridMap load_grid(serial::Reader& r) {
+  const int nx = r.i32("grid nx");
+  const int ny = r.i32("grid ny");
+  if (nx < 0 || ny < 0 || nx > kMaxSnapshotGridSide || ny > kMaxSnapshotGridSide) {
+    r.fail("implausible grid dimensions " + std::to_string(nx) + "x" + std::to_string(ny));
+  }
+  Rect region;
+  region.xl = r.f64("grid region xl");
+  region.yl = r.f64("grid region yl");
+  region.xh = r.f64("grid region xh");
+  region.yh = r.f64("grid region yh");
+  std::vector<double> data = r.doubles("grid data");
+  if (data.size() != static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny)) {
+    r.fail("grid data length does not match dimensions");
+  }
+  GridMap grid(nx, ny, region);
+  grid.data() = std::move(data);
+  return grid;
+}
+
+void save_frame(serial::Writer& w, const FeatureFrame& frame) {
+  save_grid(w, frame.rudy);
+  save_grid(w, frame.pin_rudy);
+  save_grid(w, frame.macro_region);
+  save_grid(w, frame.flow_x);
+  save_grid(w, frame.flow_y);
+  w.i32(frame.iteration);
+}
+
+FeatureFrame load_frame(serial::Reader& r) {
+  FeatureFrame frame;
+  frame.rudy = load_grid(r);
+  frame.pin_rudy = load_grid(r);
+  frame.macro_region = load_grid(r);
+  frame.flow_x = load_grid(r);
+  frame.flow_y = load_grid(r);
+  frame.iteration = r.i32("frame iteration");
+  return frame;
+}
+
+}  // namespace
+
+void CongestionPenalty::save_state(serial::Writer& w) const {
+  w.u32(kVersion);
+  const FrameHistoryState hist = history_.state();
+  w.u64(hist.frames.size());
+  for (const FeatureFrame& frame : hist.frames) save_frame(w, frame);
+  w.doubles(hist.prev_x);
+  w.doubles(hist.prev_y);
+  w.flag(hist.has_positions);
+  w.u64(stats_.applications);
+  w.u64(stats_.learned_applications);
+  w.u64(stats_.learned_failures);
+  w.u64(stats_.analytic_fallbacks);
+  w.u64(stats_.degradations);
+  w.u64(stats_.remote_forwards);
+  w.u64(stats_.remote_fallbacks);
+  w.i32(consecutive_failures_);
+  w.i32(degraded_remaining_);
+}
+
+void CongestionPenalty::restore_state(serial::Reader& r) {
+  const std::uint32_t version = r.u32("penalty state version");
+  if (version != kVersion) {
+    r.fail("unsupported penalty state version " + std::to_string(version));
+  }
+  FrameHistoryState hist;
+  const std::uint64_t frames = r.u64("frame count");
+  if (frames > kMaxSnapshotFrames) {
+    r.fail("implausible frame count " + std::to_string(frames));
+  }
+  hist.frames.reserve(static_cast<std::size_t>(frames));
+  for (std::uint64_t i = 0; i < frames; ++i) hist.frames.push_back(load_frame(r));
+  hist.prev_x = r.doubles("previous x positions");
+  hist.prev_y = r.doubles("previous y positions");
+  hist.has_positions = r.flag("has positions");
+  history_.restore(std::move(hist));
+  stats_.applications = r.u64("applications");
+  stats_.learned_applications = r.u64("learned applications");
+  stats_.learned_failures = r.u64("learned failures");
+  stats_.analytic_fallbacks = r.u64("analytic fallbacks");
+  stats_.degradations = r.u64("degradations");
+  stats_.remote_forwards = r.u64("remote forwards");
+  stats_.remote_fallbacks = r.u64("remote fallbacks");
+  consecutive_failures_ = r.i32("consecutive failures");
+  degraded_remaining_ = r.i32("degraded remaining");
 }
 
 }  // namespace laco

@@ -31,6 +31,11 @@
 #include "train/scheme.hpp"
 #include "util/timer.hpp"
 
+namespace laco::serial {
+class Writer;
+class Reader;
+}  // namespace laco::serial
+
 namespace laco {
 
 /// Trained models shared by penalty instances and the pipeline.
@@ -118,6 +123,14 @@ class CongestionPenalty {
   /// delegate used by predict(). Single-threaded with the placer loop,
   /// like the rest of the penalty state.
   void set_remote_forward(RemoteCongestionForward remote) { remote_forward_ = std::move(remote); }
+
+  /// Snapshot codec (docs/RELIABILITY.md "Placement snapshots &
+  /// resume"): serializes the penalty's loop state — frame history,
+  /// degradation counters, stats — so a resumed placement replays the
+  /// uninterrupted run bitwise. The payload is versioned by kVersion.
+  static constexpr std::uint32_t kVersion = 1;
+  void save_state(serial::Writer& w) const;
+  void restore_state(serial::Reader& r);
 
   const PenaltyConfig& config() const { return config_; }
   const PenaltyStats& stats() const { return stats_; }

@@ -1,6 +1,7 @@
 #include "laco/frame_history.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace laco {
 
@@ -28,6 +29,24 @@ void FrameHistory::clear() {
   prev_x_.clear();
   prev_y_.clear();
   has_positions_ = false;
+}
+
+FrameHistoryState FrameHistory::state() const {
+  FrameHistoryState s;
+  s.frames.assign(history_.begin(), history_.end());
+  s.prev_x = prev_x_;
+  s.prev_y = prev_y_;
+  s.has_positions = has_positions_;
+  return s;
+}
+
+void FrameHistory::restore(FrameHistoryState state) {
+  history_.clear();
+  for (FeatureFrame& frame : state.frames) history_.push_back(std::move(frame));
+  while (static_cast<int>(history_.size()) > frames_ - 1) history_.pop_front();
+  prev_x_ = std::move(state.prev_x);
+  prev_y_ = std::move(state.prev_y);
+  has_positions_ = state.has_positions;
 }
 
 }  // namespace laco

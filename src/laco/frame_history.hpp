@@ -11,6 +11,15 @@
 
 namespace laco {
 
+/// Complete capture of a FrameHistory, exported for placement snapshots
+/// (CongestionPenalty::save_state) and restored on resume. Frames are
+/// oldest-first, matching context() order.
+struct FrameHistoryState {
+  std::vector<FeatureFrame> frames;
+  std::vector<double> prev_x, prev_y;
+  bool has_positions = false;
+};
+
 class FrameHistory {
  public:
   /// `frames` = C (total context length including the current frame);
@@ -35,6 +44,12 @@ class FrameHistory {
   const std::vector<double>& prev_y() const { return prev_y_; }
 
   void clear();
+
+  /// Copies out the rolling state for snapshotting.
+  FrameHistoryState state() const;
+  /// Replaces the rolling state; restoring a state() capture and
+  /// continuing reproduces the uninterrupted history bitwise.
+  void restore(FrameHistoryState state);
 
  private:
   int frames_;

@@ -1,8 +1,10 @@
 #include "laco/laco_placer.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "util/serial.hpp"
 
 namespace laco {
 
@@ -31,6 +33,22 @@ LacoRunResult run_laco_placement(Design& design, const LacoPlacerConfig& config,
                                        std::vector<double>& gy) {
       return (*penalty)(d, iter, gx, gy);
     });
+    // Snapshot codec: the penalty's frame history and degradation state
+    // ride along in placement snapshots as an opaque blob, so resumed
+    // runs replay the penalty schedule bitwise (docs/RELIABILITY.md).
+    placer.set_penalty_state_codec(
+        [&penalty]() {
+          std::ostringstream out;
+          serial::Writer w(out);
+          penalty->save_state(w);
+          return out.str();
+        },
+        [&penalty](const std::string& blob) {
+          if (blob.empty()) return;  // snapshot predates the penalty hook
+          std::istringstream in(blob);
+          serial::Reader r(in, "<placement snapshot>", "restore_penalty_state");
+          penalty->restore_state(r);
+        });
   }
 
   {

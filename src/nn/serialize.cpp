@@ -1,23 +1,20 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
-#include <cstdio>
 #include <fstream>
 #include <map>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "util/crc32.hpp"
+#include "util/serial.hpp"
 
 namespace laco::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4c41434fu;  // "LACO"
-// v1 wrote the entry count right after the magic; the sentinel can
-// never be a real v1 count, so it cleanly marks versioned streams.
-constexpr std::uint32_t kVersionSentinel = 0xffffffffu;
 constexpr std::uint32_t kVersion = 2;
 
 // Corruption guards: a flipped bit in a header length must produce a
@@ -27,83 +24,12 @@ constexpr std::uint32_t kMaxNameLength = 1u << 12;
 constexpr std::uint32_t kMaxRank = 8;
 constexpr std::size_t kMaxTensorBytes = std::size_t{1} << 31;
 
-/// Serializer that mirrors every checksummed byte into a running CRC.
-class Writer {
- public:
-  explicit Writer(std::ostream& out) : out_(out) {}
-
-  void bytes(const void* data, std::size_t n, bool checksum = true) {
-    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-    if (checksum) crc_ = crc32(data, n, crc_);
-  }
-  void u32(std::uint32_t v, bool checksum = true) { bytes(&v, sizeof(v), checksum); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    bytes(s.data(), s.size());
-  }
-  std::uint32_t crc() const { return crc_; }
-
- private:
-  std::ostream& out_;
-  std::uint32_t crc_ = 0;
-};
-
-/// Deserializer tracking the byte offset of every read (for error
-/// messages) and, once start_checksum() is called, the running CRC of
-/// everything consumed.
-class Reader {
- public:
-  Reader(std::istream& in, std::string source) : in_(in), source_(std::move(source)) {}
-
-  /// Error qualified with the source and the offset where the failing
-  /// read began — "at byte offset 132 in 'congestion.bin'".
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("load_parameters: " + what + " at byte offset " +
-                             std::to_string(offset_) + " in '" + source_ + "'");
-  }
-
-  void bytes(void* dst, std::size_t n, const char* what) {
-    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
-    if (!in_) fail(std::string("truncated read (") + what + ")");
-    if (checksumming_) crc_ = crc32(dst, n, crc_);
-    offset_ += n;
-  }
-  std::uint32_t u32(const char* what) {
-    std::uint32_t v = 0;
-    bytes(&v, sizeof(v), what);
-    return v;
-  }
-  std::string str(const char* what) {
-    const std::uint32_t n = u32(what);
-    if (n > kMaxNameLength) {
-      fail(std::string("implausible string length ") + std::to_string(n) + " (" + what + ")");
-    }
-    std::string s(n, '\0');
-    bytes(s.data(), n, what);
-    return s;
-  }
-
-  void start_checksum() { checksumming_ = true; }
-  void stop_checksum() { checksumming_ = false; }
-  std::uint32_t crc() const { return crc_; }
-  const std::string& source() const { return source_; }
-
- private:
-  std::istream& in_;
-  std::string source_;
-  std::size_t offset_ = 0;
-  std::uint32_t crc_ = 0;
-  bool checksumming_ = false;
-};
-
 }  // namespace
 
 void save_parameters(const Module& module, std::ostream& out) {
   const auto named = module.named_parameters();
-  Writer w(out);
-  w.u32(kMagic, /*checksum=*/false);
-  w.u32(kVersionSentinel, /*checksum=*/false);
-  w.u32(kVersion);
+  serial::Writer w(out);
+  serial::write_frame_header(w, kMagic, kVersion);
   w.u32(static_cast<std::uint32_t>(named.size()));
   for (const auto& [name, tensor] : named) {
     w.str(name);
@@ -111,39 +37,24 @@ void save_parameters(const Module& module, std::ostream& out) {
     for (const int d : tensor.shape()) w.u32(static_cast<std::uint32_t>(d));
     w.bytes(tensor.data().data(), tensor.data().size() * sizeof(float));
   }
-  const std::uint32_t digest = w.crc();
-  w.u32(digest, /*checksum=*/false);
+  serial::write_frame_trailer(w);
 }
 
 bool save_parameters_file(const Module& module, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
+  return serial::atomic_write_file(path, [&module](std::ostream& out) {
     save_parameters(module, out);
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  // rename(2) is atomic within a filesystem: readers see either the old
-  // complete file or the new complete file, never a partial write.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+    return static_cast<bool>(out);
+  });
 }
 
 void load_parameters(Module& module, std::istream& in, const std::string& source) {
-  Reader r(in, source);
+  serial::Reader r(in, source, "load_parameters");
   if (r.u32("magic") != kMagic) r.fail("bad magic (not a LACO checkpoint)");
 
   std::uint32_t count = 0;
   bool versioned = false;
   const std::uint32_t second = r.u32("header");
-  if (second == kVersionSentinel) {
+  if (second == serial::kVersionSentinel) {
     versioned = true;
     r.start_checksum();
     const std::uint32_t version = r.u32("version");
@@ -160,7 +71,7 @@ void load_parameters(Module& module, std::istream& in, const std::string& source
 
   std::map<std::string, std::pair<Shape, std::vector<float>>> loaded;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::string name = r.str("parameter name");
+    const std::string name = r.str("parameter name", kMaxNameLength);
     const std::uint32_t rank = r.u32("tensor rank");
     if (rank > kMaxRank) r.fail("implausible tensor rank " + std::to_string(rank));
     Shape shape(rank);
@@ -178,17 +89,7 @@ void load_parameters(Module& module, std::istream& in, const std::string& source
     loaded[name] = {std::move(shape), std::move(data)};
   }
 
-  if (versioned) {
-    const std::uint32_t computed = r.crc();
-    r.stop_checksum();
-    const std::uint32_t stored = r.u32("checksum");
-    if (stored != computed) {
-      char buf[96];
-      std::snprintf(buf, sizeof(buf), "checksum mismatch (stored 0x%08x, computed 0x%08x)",
-                    stored, computed);
-      r.fail(std::string(buf) + " — checkpoint corrupt");
-    }
-  }
+  if (versioned) serial::read_frame_trailer(r);
 
   for (auto& [name, tensor] : module.named_parameters()) {
     const auto it = loaded.find(name);

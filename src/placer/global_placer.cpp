@@ -2,14 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <sstream>
+#include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "placer/nesterov.hpp"
+#include "placer/snapshot.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
-#include "util/rng.hpp"
 
 namespace laco {
 namespace {
+
+/// Registry mirror for watchdog/rollback events (docs/OBSERVABILITY.md).
+obs::Counter& recovery_counter(const char* field) {
+  return obs::MetricRegistry::global().counter(std::string("placer.recovery.") + field);
+}
+
+bool all_finite(const std::vector<double>& a, const std::vector<double>& b) {
+  for (const double v : a) {
+    if (!std::isfinite(v)) return false;
+  }
+  for (const double v : b) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
 
 double abs_sum(const std::vector<double>& a, const std::vector<double>& b) {
   double s = 0.0;
@@ -48,12 +68,12 @@ GlobalPlacer::GlobalPlacer(Design& design, GlobalPlacerOptions options)
 void GlobalPlacer::initialize_positions(std::vector<double>& x, std::vector<double>& y) {
   design_.get_movable_positions(x, y);
   if (!options_.center_init) return;
-  Rng rng(options_.seed);
+  rng_ = Rng(options_.seed);  // re-seed: run() is reproducible per call
   const Point c = design_.core().center();
   const double noise = options_.init_noise_frac * design_.core().width();
   for (std::size_t i = 0; i < x.size(); ++i) {
-    x[i] = c.x + rng.normal(0.0, noise);
-    y[i] = c.y + rng.normal(0.0, noise);
+    x[i] = c.x + rng_.normal(0.0, noise);
+    y[i] = c.y + rng_.normal(0.0, noise);
   }
   design_.set_movable_positions(x, y);
   design_.get_movable_positions(x, y);  // re-read after clamping
@@ -61,6 +81,7 @@ void GlobalPlacer::initialize_positions(std::vector<double>& x, std::vector<doub
 
 PlacementResult GlobalPlacer::run() {
   PlacementResult result;
+  const PlacerRecoveryOptions& rec = options_.recovery;
   std::vector<double> x, y;
   initialize_positions(x, y);
 
@@ -82,8 +103,131 @@ PlacementResult GlobalPlacer::run() {
   double prev_overflow = 1.0;
   double best_overflow = 1.0;
   int best_overflow_iter = 0;
+  int iter = 0;
+  // Rollback bookkeeping. rollback_damp compounds across rollbacks and
+  // rides in snapshots; hpwl_peak is derived from history after every
+  // restore, so it never needs to be serialized.
+  std::uint64_t carried_rollbacks = 0;
+  double rollback_damp = 1.0;
+  int last_rollback_iter = -1;
+  double hpwl_peak = 0.0;
 
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+  std::optional<SnapshotStore> store;
+  if (!rec.snapshot_dir.empty() && (rec.snapshot_every > 0 || rec.resume)) {
+    store.emplace(rec.snapshot_dir);
+  }
+
+  const auto capture = [&](int next_iter) {
+    PlacementSnapshot snap;
+    snap.design_name = design_.name();
+    snap.num_movable = design_.num_movable();
+    snap.iteration = next_iter;
+    snap.ratio = ratio;
+    snap.prev_overflow = prev_overflow;
+    snap.best_overflow = best_overflow;
+    snap.best_overflow_iter = best_overflow_iter;
+    snap.rollbacks = carried_rollbacks + result.recovery.rollbacks;
+    snap.rollback_damp = rollback_damp;
+    snap.last_rollback_iter = last_rollback_iter;
+    std::ostringstream rng_out;
+    rng_out << rng_.engine();
+    snap.rng_state = rng_out.str();
+    snap.optimizer = optimizer.state();
+    snap.history = result.history;
+    if (penalty_saver_) snap.penalty_state = penalty_saver_();
+    return snap;
+  };
+
+  const auto restore_loop_state = [&](const PlacementSnapshot& snap) {
+    optimizer.restore(snap.optimizer);
+    ratio = snap.ratio;
+    prev_overflow = snap.prev_overflow;
+    best_overflow = snap.best_overflow;
+    best_overflow_iter = snap.best_overflow_iter;
+    result.history = snap.history;
+    hpwl_peak = 0.0;
+    for (const IterationStats& s : result.history) hpwl_peak = std::max(hpwl_peak, s.hpwl);
+    if (!snap.rng_state.empty()) {
+      std::istringstream rng_in(snap.rng_state);
+      rng_in >> rng_.engine();
+    }
+    if (penalty_restorer_) penalty_restorer_(snap.penalty_state);
+    iter = snap.iteration;
+    design_.set_movable_positions(snap.optimizer.vx, snap.optimizer.vy);
+  };
+
+  std::optional<PlacementSnapshot> last_good;
+  if (rec.resume && store) {
+    std::string why;
+    if (auto snap = store->load_latest(&why)) {
+      if (snap->design_name != design_.name() ||
+          snap->num_movable != static_cast<std::uint64_t>(design_.num_movable())) {
+        throw std::runtime_error("GlobalPlacer: snapshot in '" + rec.snapshot_dir +
+                                 "' belongs to design '" + snap->design_name + "' (" +
+                                 std::to_string(snap->num_movable) + " movables), not '" +
+                                 design_.name() + "'");
+      }
+      restore_loop_state(*snap);
+      carried_rollbacks = snap->rollbacks;
+      rollback_damp = snap->rollback_damp;
+      last_rollback_iter = snap->last_rollback_iter;
+      result.recovery.resumed_from_iteration = snap->iteration;
+      recovery_counter("resumes").add(1);
+      LACO_LOG_INFO << design_.name() << " resumed from snapshot at iteration " << iter;
+      last_good = std::move(*snap);
+    } else {
+      LACO_LOG_WARN << design_.name() << " --resume found no usable snapshot in '"
+                    << rec.snapshot_dir << "' (" << why << "); starting fresh";
+    }
+  }
+
+  // Last-good refresh cadence: the durable snapshot period when enabled,
+  // else a cheap in-memory period so the watchdog has a rollback target.
+  const int cadence =
+      rec.snapshot_every > 0 ? rec.snapshot_every : (rec.watchdog ? rec.capture_every : 0);
+
+  const auto handle_divergence = [&](const std::string& reason) {
+    ++result.recovery.watchdog_trips;
+    recovery_counter("watchdog_trips").add(1);
+    LACO_LOG_WARN << design_.name() << " divergence at iteration " << iter << ": " << reason;
+    if (!last_good ||
+        result.recovery.rollbacks >= static_cast<std::uint64_t>(rec.max_rollbacks)) {
+      recovery_counter("failures").add(1);
+      throw PlacementDivergedError(
+          design_.name() + ": placement diverged at iteration " + std::to_string(iter) + " (" +
+              reason + ")" +
+              (last_good ? " after " + std::to_string(result.recovery.rollbacks) + " rollbacks"
+                         : " with no snapshot to roll back to"),
+          iter);
+    }
+    restore_loop_state(*last_good);
+    ++result.recovery.rollbacks;
+    recovery_counter("rollbacks").add(1);
+    // Compound the damping: the restored snapshot carries the step scale
+    // it was captured with, so re-applying a single damp() would replay
+    // the exact diverging trajectory on every retry.
+    rollback_damp *= rec.damp_factor;
+    optimizer.set_step_scale(last_good->optimizer.step_scale * rollback_damp);
+    last_rollback_iter = iter;
+    LACO_LOG_WARN << design_.name() << " rolled back to iteration " << iter << ", step scale "
+                  << optimizer.step_scale();
+  };
+
+  while (iter < options_.max_iterations) {
+    // Chaos hook: crash/error injection at the iteration boundary, the
+    // granularity the snapshot/resume protocol guarantees recovery at.
+    LACO_FAILPOINT("placer.iteration");
+    if (cadence > 0 && iter % cadence == 0 && (!last_good || last_good->iteration != iter)) {
+      last_good = capture(iter);
+      if (store && rec.snapshot_every > 0) {
+        // Hand the copy to the store's background writer: the loop
+        // pays for the in-memory copy only, and the destructor/flush
+        // guarantee the write lands even if this run throws.
+        store->save_async(*last_good);
+        ++result.recovery.snapshot_saves;
+      }
+    }
+
     obs::TraceSpan iter_span("placement: iteration", "placer");
     design_.set_movable_positions(optimizer.vx(), optimizer.vy());
 
@@ -92,6 +236,19 @@ PlacementResult GlobalPlacer::run() {
       density_.update(design_);
     }
     const double overflow = density_.overflow(design_);
+    const double hpwl_now = design_.hpwl();
+    if (rec.watchdog && last_good && !last_good->history.empty() &&
+        overflow > last_good->history.back().overflow + rec.overflow_explode_margin) {
+      handle_divergence("overflow explosion (" + std::to_string(overflow) + " vs last good " +
+                        std::to_string(last_good->history.back().overflow) + ")");
+      continue;
+    }
+    if (rec.watchdog && hpwl_peak > 0.0 &&
+        !(hpwl_now <= rec.hpwl_explode_factor * hpwl_peak)) {
+      handle_divergence("hpwl explosion (" + std::to_string(hpwl_now) + " vs peak " +
+                        std::to_string(hpwl_peak) + ")");
+      continue;
+    }
 
     // γ anneals with overflow: smooth early, HPWL-accurate late.
     const double gamma =
@@ -134,22 +291,47 @@ PlacementResult GlobalPlacer::run() {
     }
 
     gather_movable(design_, gx_cell, gy_cell, gx, gy);
+    // Check the gradient before feeding it to the optimizer: one NaN
+    // would poison the BB history and every subsequent iterate.
+    if (rec.watchdog && !all_finite(gx, gy)) {
+      handle_divergence("non-finite gradient");
+      continue;
+    }
     const double step = optimizer.step(gx, gy, options_.max_move_bins * bin_w);
+    if (rec.watchdog && !all_finite(optimizer.vx(), optimizer.vy())) {
+      handle_divergence("non-finite positions");
+      continue;
+    }
 
     IterationStats stats;
     stats.iteration = iter;
     stats.wa_wirelength = wa_wl;
-    stats.hpwl = design_.hpwl();
+    stats.hpwl = hpwl_now;
     stats.overflow = overflow;
     stats.lambda = lambda;
     stats.penalty = penalty_value;
     stats.step_size = step;
     result.history.push_back(stats);
+    hpwl_peak = std::max(hpwl_peak, stats.hpwl);
     if (observer_) observer_(design_, stats);
 
     if (iter % 50 == 0) {
       LACO_LOG_INFO << design_.name() << " iter " << iter << " hpwl=" << stats.hpwl
                     << " overflow=" << overflow << " lambda=" << lambda;
+    }
+
+    // Sustained recovery: after a healthy window since the last rollback
+    // (or relax), ease the damped step scale back toward 1.0 so one bad
+    // stretch doesn't permanently collapse the step length.
+    if (rec.watchdog && last_rollback_iter >= 0 && optimizer.step_scale() < 1.0 &&
+        iter - last_rollback_iter >= rec.recover_window) {
+      optimizer.set_step_scale(std::min(1.0, optimizer.step_scale() / rec.damp_factor));
+      rollback_damp = std::min(1.0, rollback_damp / rec.damp_factor);
+      last_rollback_iter = iter;
+      ++result.recovery.step_scale_relaxes;
+      recovery_counter("step_scale_relaxes").add(1);
+      LACO_LOG_INFO << design_.name() << " relaxed step scale to " << optimizer.step_scale()
+                    << " after " << rec.recover_window << " healthy iterations";
     }
 
     // Adaptive ramp: raise the density pressure while spreading has
@@ -179,6 +361,7 @@ PlacementResult GlobalPlacer::run() {
       LACO_LOG_INFO << design_.name() << " stopping on overflow stagnation at iter " << iter;
       break;
     }
+    ++iter;
   }
   if (result.iterations == 0) result.iterations = options_.max_iterations;
 
@@ -187,6 +370,10 @@ PlacementResult GlobalPlacer::run() {
   design_.set_movable_positions(optimizer.vx(), optimizer.vy());
   result.final_hpwl = design_.hpwl();
   result.final_overflow = density_.overflow(design_);
+  if (store) {
+    store->flush();
+    result.recovery.snapshot_save_failures = store->async_failures();
+  }
   return result;
 }
 

@@ -10,12 +10,16 @@
 // snapshots, Fig. 1 statistics, training data collection).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "netlist/design.hpp"
 #include "placer/density.hpp"
 #include "placer/wirelength.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace laco {
@@ -28,6 +32,57 @@ struct IterationStats {
   double lambda = 0.0;
   double penalty = 0.0;   ///< congestion penalty value (0 when disabled)
   double step_size = 0.0;
+};
+
+/// Crash-safety and divergence-recovery knobs (docs/RELIABILITY.md
+/// "Placement snapshots & resume"). Durable snapshots are opt-in; the
+/// in-memory divergence watchdog is on by default and is numerically
+/// neutral until it actually trips.
+struct PlacerRecoveryOptions {
+  int snapshot_every = 0;    ///< durable snapshot cadence in iterations (0 = off)
+  std::string snapshot_dir;  ///< directory for the double-buffered slot files
+  bool resume = false;       ///< resume from snapshot_dir when a valid snapshot exists
+  bool watchdog = true;      ///< divergence detection + rollback
+  /// In-memory last-good capture cadence when durable snapshots are off
+  /// (the watchdog needs something to roll back to).
+  int capture_every = 10;
+  double damp_factor = 0.5;  ///< step-scale multiplier compounded per rollback
+  int max_rollbacks = 8;     ///< rollback attempts per run before failing cleanly
+  /// HPWL above this multiple of the running-peak HPWL trips the
+  /// watchdog. The peak only grows, so legitimate spreading (which
+  /// raises HPWL steadily) never trips it.
+  double hpwl_explode_factor = 10.0;
+  /// Overflow above last-good + this margin trips the watchdog.
+  double overflow_explode_margin = 0.5;
+  /// Healthy iterations after a rollback before the damped step scale
+  /// relaxes one damp_factor back toward 1.0 (no one-way ratchet).
+  int recover_window = 25;
+};
+
+/// Snapshot/rollback counters for one run(), mirrored into the
+/// `placer.snapshot.*` / `placer.recovery.*` metrics.
+struct PlacerRecoveryStats {
+  /// Snapshots handed to the store's background writer (latest-wins:
+  /// a capture superseded before its write started produces no file).
+  std::uint64_t snapshot_saves = 0;
+  std::uint64_t snapshot_save_failures = 0;  ///< failed background writes
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t step_scale_relaxes = 0;
+  int resumed_from_iteration = -1;  ///< -1 = fresh start
+};
+
+/// Thrown when the divergence watchdog exhausts its rollback budget (or
+/// has no snapshot to roll back to): the run failed cleanly rather than
+/// emitting a garbage placement.
+class PlacementDivergedError : public std::runtime_error {
+ public:
+  PlacementDivergedError(const std::string& what, int iteration)
+      : std::runtime_error(what), iteration_(iteration) {}
+  int iteration() const { return iteration_; }
+
+ private:
+  int iteration_;
 };
 
 struct GlobalPlacerOptions {
@@ -49,6 +104,7 @@ struct GlobalPlacerOptions {
   /// not improved for this many iterations (0 disables).
   int stall_window = 50;
   unsigned seed = 7;
+  PlacerRecoveryOptions recovery;
 };
 
 struct PlacementResult {
@@ -57,6 +113,7 @@ struct PlacementResult {
   double final_overflow = 1.0;
   bool converged = false;
   std::vector<IterationStats> history;
+  PlacerRecoveryStats recovery;
 };
 
 class GlobalPlacer {
@@ -68,11 +125,21 @@ class GlobalPlacer {
                                            std::vector<double>& grad_x,
                                            std::vector<double>& grad_y)>;
   using Observer = std::function<void(const Design&, const IterationStats&)>;
+  /// Penalty state codec for snapshots: the saver serializes the penalty
+  /// hook's internal state (frame history, stats) into an opaque blob,
+  /// the restorer rebuilds it. String-typed so the placer stays
+  /// decoupled from the serialization layer and from laco.
+  using PenaltyStateSaver = std::function<std::string()>;
+  using PenaltyStateRestorer = std::function<void(const std::string&)>;
 
   GlobalPlacer(Design& design, GlobalPlacerOptions options);
 
   void set_penalty_hook(PenaltyHook hook) { penalty_ = std::move(hook); }
   void set_observer(Observer observer) { observer_ = std::move(observer); }
+  void set_penalty_state_codec(PenaltyStateSaver saver, PenaltyStateRestorer restorer) {
+    penalty_saver_ = std::move(saver);
+    penalty_restorer_ = std::move(restorer);
+  }
   /// Phase timings are recorded here when set (Fig. 8 reproduction).
   void set_runtime_breakdown(RuntimeBreakdown* breakdown) { breakdown_ = breakdown; }
 
@@ -89,9 +156,14 @@ class GlobalPlacer {
   WirelengthModel wirelength_;
   PenaltyHook penalty_;
   Observer observer_;
+  PenaltyStateSaver penalty_saver_;
+  PenaltyStateRestorer penalty_restorer_;
   RuntimeBreakdown* breakdown_ = nullptr;
   std::vector<double> pin_count_;  ///< per-cell pin counts (preconditioner)
   double bin_area_ = 1.0;
+  /// Initialization RNG; a member (not a local) so its post-init state
+  /// rides along in snapshots and resumes are bitwise reproducible.
+  Rng rng_;
 };
 
 }  // namespace laco

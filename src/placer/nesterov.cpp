@@ -65,4 +65,48 @@ double NesterovOptimizer::step(const std::vector<double>& grad_x,
   return alpha;
 }
 
+NesterovState NesterovOptimizer::state() const {
+  NesterovState s;
+  s.ux = ux_;
+  s.uy = uy_;
+  s.vx = vx_;
+  s.vy = vy_;
+  s.prev_vx = prev_vx_;
+  s.prev_vy = prev_vy_;
+  s.prev_gx = prev_gx_;
+  s.prev_gy = prev_gy_;
+  s.a = a_;
+  s.initial_step = initial_step_;
+  s.step_scale = step_scale_;
+  s.have_prev = have_prev_;
+  return s;
+}
+
+void NesterovOptimizer::restore(const NesterovState& state) {
+  const std::size_t n = state.ux.size();
+  const bool main_ok =
+      state.uy.size() == n && state.vx.size() == n && state.vy.size() == n;
+  // The prev vectors are empty until the first step() populates them.
+  const bool prev_ok = state.have_prev
+                           ? (state.prev_vx.size() == n && state.prev_vy.size() == n &&
+                              state.prev_gx.size() == n && state.prev_gy.size() == n)
+                           : (state.prev_vx.empty() && state.prev_vy.empty() &&
+                              state.prev_gx.empty() && state.prev_gy.empty());
+  if (!main_ok || !prev_ok) {
+    throw std::invalid_argument("NesterovOptimizer::restore: inconsistent state sizes");
+  }
+  ux_ = state.ux;
+  uy_ = state.uy;
+  vx_ = state.vx;
+  vy_ = state.vy;
+  prev_vx_ = state.prev_vx;
+  prev_vy_ = state.prev_vy;
+  prev_gx_ = state.prev_gx;
+  prev_gy_ = state.prev_gy;
+  a_ = state.a;
+  initial_step_ = state.initial_step;
+  step_scale_ = state.step_scale;
+  have_prev_ = state.have_prev;
+}
+
 }  // namespace laco

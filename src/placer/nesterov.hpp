@@ -9,6 +9,20 @@
 
 namespace laco {
 
+/// Complete optimizer loop state, exported for placement snapshots
+/// (placer/snapshot.hpp) and divergence rollback. Restoring a state
+/// reproduces the optimizer's trajectory bitwise.
+struct NesterovState {
+  std::vector<double> ux, uy;            ///< major sequence
+  std::vector<double> vx, vy;            ///< look-ahead sequence
+  std::vector<double> prev_vx, prev_vy;  ///< previous look-ahead (BB)
+  std::vector<double> prev_gx, prev_gy;  ///< previous gradient (BB)
+  double a = 1.0;                        ///< Nesterov momentum sequence
+  double initial_step = 1.0;
+  double step_scale = 1.0;
+  bool have_prev = false;
+};
+
 class NesterovOptimizer {
  public:
   /// Starts from (x0, y0); `initial_step` is used before two gradient
@@ -28,6 +42,20 @@ class NesterovOptimizer {
 
   /// Rescales the next step (used when the placer detects divergence).
   void damp(double factor) { step_scale_ *= factor; }
+
+  /// Current BB step multiplier (1.0 unless damped or restored).
+  double step_scale() const { return step_scale_; }
+  /// Sets the step multiplier outright — the recovery layer uses this
+  /// both to compound rollback damping and to relax it back toward 1.0
+  /// after sustained healthy progress.
+  void set_step_scale(double scale) { step_scale_ = scale; }
+
+  /// Copies out the complete loop state for snapshotting.
+  NesterovState state() const;
+  /// Restores a previously exported state; subsequent steps are bitwise
+  /// identical to the run that produced it. Throws std::invalid_argument
+  /// when the state's vector sizes are inconsistent.
+  void restore(const NesterovState& state);
 
  private:
   std::vector<double> ux_, uy_;        // major sequence

@@ -5,26 +5,55 @@
 namespace laco {
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8: eight derived tables let the inner loop fold eight
+// bytes per step instead of one, which matters because the CRC is
+// the single hottest instruction stream in a snapshot save (the
+// payload is CRC'd once on write and once on read, at ~8x the speed
+// of the classic byte-at-a-time loop). Same polynomial, same result.
+using Crc32Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Crc32Tables make_tables() {
+  Crc32Tables t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xffu] ^ (t[k - 1][i] >> 8);
+    }
+  }
+  return t;
 }
 
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) {
-  static const std::array<std::uint32_t, 256> table = make_table();
+  static const Crc32Tables t = make_tables();
   const auto* bytes = static_cast<const unsigned char*>(data);
   std::uint32_t c = crc ^ 0xffffffffu;
+  // Compose words from bytes (not memcpy of a u32) so the fold is
+  // byte-order independent; compilers emit a single load anyway.
+  while (size >= 8) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(bytes[0]) |
+                             static_cast<std::uint32_t>(bytes[1]) << 8 |
+                             static_cast<std::uint32_t>(bytes[2]) << 16 |
+                             static_cast<std::uint32_t>(bytes[3]) << 24;
+    const std::uint32_t hi = static_cast<std::uint32_t>(bytes[4]) |
+                             static_cast<std::uint32_t>(bytes[5]) << 8 |
+                             static_cast<std::uint32_t>(bytes[6]) << 16 |
+                             static_cast<std::uint32_t>(bytes[7]) << 24;
+    c ^= lo;
+    c = t[7][c & 0xffu] ^ t[6][(c >> 8) & 0xffu] ^ t[5][(c >> 16) & 0xffu] ^ t[4][c >> 24] ^
+        t[3][hi & 0xffu] ^ t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    c = t[0][(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace serial {
+class Writer;
+}  // namespace serial
+
+struct CoveredBlob {
+  static constexpr unsigned kVersion = 1;
+  void save(serial::Writer& w) const;
+};
+
+struct UncoveredBlob {
+  static constexpr unsigned kVersion = 1;
+  void save(serial::Writer& w) const;
+};

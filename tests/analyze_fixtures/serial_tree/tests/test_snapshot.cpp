@@ -1,0 +1,5 @@
+// Mini round-trip suite: exercises CoveredBlob, never UncoveredBlob.
+void round_trip_covered_blob() {
+  CoveredBlob blob;
+  (void)blob;
+}

@@ -1,0 +1,28 @@
+// serial-versioned fixture: GoodBlob declares kVersion, BadBlob and
+// BadReaderBlob do not, SuppressedBlob opts out with analyze-ok.
+namespace serial {
+class Writer;
+class Reader;
+}  // namespace serial
+
+struct GoodBlob {
+  static constexpr unsigned kVersion = 1;
+  void save(serial::Writer& w) const;
+};
+
+struct BadBlob {
+  void save(serial::Writer& w) const;
+};
+
+class BadReaderBlob {
+ public:
+  void load(serial::Reader& r);
+};
+
+struct SuppressedBlob {  // analyze-ok(serial-versioned): scratch-only format
+  void save(serial::Writer& w) const;
+};
+
+struct PlainStruct {  // no serial usage: out of scope
+  int value = 0;
+};

@@ -91,6 +91,21 @@ TEST(AnalyzeRules, CleanFixtureProducesNoDiagnostics) {
   EXPECT_EQ(file_diags("clean.cpp"), std::vector<std::string>{});
 }
 
+TEST(AnalyzeRules, SerialVersionedDemandsExplicitFormatVersion) {
+  // GoodBlob (kVersion) and PlainStruct (no serial usage) stay quiet;
+  // SuppressedBlob is analyze-ok'd.
+  EXPECT_EQ(file_diags("serial_versioned.cpp"),
+            (std::vector<std::string>{
+                "src/fixture/serial_versioned.cpp:13: [serial-versioned] 'BadBlob' is "
+                "serialized through laco::serial but declares no kVersion — every "
+                "serialized struct carries an explicit format version so old files fail "
+                "cleanly (docs/RELIABILITY.md)",
+                "src/fixture/serial_versioned.cpp:17: [serial-versioned] 'BadReaderBlob' "
+                "is serialized through laco::serial but declares no kVersion — every "
+                "serialized struct carries an explicit format version so old files fail "
+                "cleanly (docs/RELIABILITY.md)"}));
+}
+
 // ------------------------------------------------------------ tree rules
 
 TEST(AnalyzeTree, LayerDagCycleAndIwyuFireOnSeededTree) {
@@ -108,6 +123,16 @@ TEST(AnalyzeTree, LayerDagCycleAndIwyuFireOnSeededTree) {
           "src/util/unused_inc.cpp:1: [iwyu-unused-include] nothing declared by "
           "\"src/util/provides.hpp\" is referenced in this file — drop the include (or "
           "include what you actually use)"}));
+}
+
+TEST(AnalyzeTree, SerialRoundTripCoverageFlagsUntestedCodecs) {
+  // serial_tree/ has two versioned codec structs; only CoveredBlob is
+  // mentioned by its tests/test_snapshot.cpp.
+  EXPECT_EQ(tree_diags("serial_tree"),
+            (std::vector<std::string>{
+                "src/util/blob.hpp:12: [serial-roundtrip] 'UncoveredBlob' is serialized "
+                "through laco::serial but never appears in tests/test_snapshot.cpp — "
+                "cover it in the snapshot round-trip suite"}));
 }
 
 TEST(AnalyzeTree, LayerTableMatchesLinkGraph) {

@@ -653,6 +653,74 @@ void check_guarded_access(const TokenizedFile& tf, const GuardInfo& info,
   }
 }
 
+// ------------------------------------------------------- serial-versioned
+
+/// A struct/class whose body mentions serial::Writer or serial::Reader
+/// — i.e. it participates in the v2 checkpoint container format.
+struct SerialStructInfo {
+  std::string name;
+  int line = 1;
+  bool has_version = false;  ///< body declares kVersion
+};
+
+std::vector<SerialStructInfo> find_serial_structs(const TokenizedFile& tf) {
+  std::vector<SerialStructInfo> out;
+  const std::vector<Token>& t = tf.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "struct" && t[i].text != "class") continue;
+    if (i > 0 && t[i - 1].text == "enum") continue;
+    if (i + 1 >= t.size() || t[i + 1].kind != Token::Kind::kIdentifier) continue;
+    // Find the body opener; hitting ';' first means a forward
+    // declaration, '(' a declarator like `struct stat st(…)`.
+    std::size_t open = i + 2;
+    while (open < t.size() && t[open].text != "{" && t[open].text != ";" &&
+           t[open].text != "(") {
+      ++open;
+    }
+    if (open >= t.size() || t[open].text != "{") continue;
+    int depth = 0;
+    std::size_t end = t.size();
+    for (std::size_t j = open; j < t.size(); ++j) {
+      if (t[j].text == "{") ++depth;
+      if (t[j].text == "}" && --depth == 0) {
+        end = j;
+        break;
+      }
+    }
+    SerialStructInfo info;
+    info.name = t[i + 1].text;
+    info.line = t[i].line;
+    bool uses_serial = false;
+    for (std::size_t j = open; j < end; ++j) {
+      if (t[j].text == "kVersion") info.has_version = true;
+      if (t[j].text == "serial" && j + 2 < end && t[j + 1].text == "::" &&
+          (t[j + 2].text == "Writer" || t[j + 2].text == "Reader")) {
+        uses_serial = true;
+      }
+    }
+    if (uses_serial) out.push_back(std::move(info));
+  }
+  return out;
+}
+
+/// Every struct serialized through laco::serial must declare an explicit
+/// kVersion: unversioned payloads can only fail as checksum noise when
+/// the layout changes, versioned ones fail with "unsupported format
+/// version N" (docs/RELIABILITY.md "Checkpoint integrity").
+void check_serial_versioned(const TokenizedFile& tf, const std::string& relpath,
+                            std::vector<Diagnostic>& out) {
+  if (!in_src(relpath)) return;
+  for (const SerialStructInfo& s : find_serial_structs(tf)) {
+    if (s.has_version) continue;
+    if (suppressed(tf, s.line, "serial-versioned")) continue;
+    add(out, relpath, s.line, "serial-versioned",
+        "'" + s.name +
+            "' is serialized through laco::serial but declares no kVersion — every "
+            "serialized struct carries an explicit format version so old files fail "
+            "cleanly (docs/RELIABILITY.md)");
+  }
+}
+
 // ------------------------------------------------------ duplicate-include
 
 void check_duplicate_includes(const TokenizedFile& tf, const std::string& relpath,
@@ -851,6 +919,34 @@ void check_iwyu(const fs::path& root, const std::vector<TreeFile>& files,
   }
 }
 
+// ------------------------------------------------------- serial-roundtrip
+
+/// Tree half of the serialization discipline: every serial-codec struct
+/// in src/ must appear in tests/test_snapshot.cpp, the suite that
+/// round-trips snapshot payloads bitwise and pins the corruption
+/// wording. A codec nobody round-trips is a codec whose load path is
+/// first exercised by a production crash.
+void check_serial_roundtrip(const fs::path& root, const std::vector<TreeFile>& files,
+                            std::vector<Diagnostic>& out) {
+  const fs::path suite = root / "tests" / "test_snapshot.cpp";
+  std::set<std::string> covered;
+  if (fs::exists(suite)) {
+    for (const Token& t : tokenize(read_file(suite)).tokens) {
+      if (t.kind == Token::Kind::kIdentifier) covered.insert(t.text);
+    }
+  }
+  for (const TreeFile& f : files) {
+    for (const SerialStructInfo& s : find_serial_structs(f.tf)) {
+      if (covered.count(s.name) > 0) continue;
+      if (suppressed(f.tf, s.line, "serial-roundtrip")) continue;
+      add(out, f.relpath, s.line, "serial-roundtrip",
+          "'" + s.name +
+              "' is serialized through laco::serial but never appears in "
+              "tests/test_snapshot.cpp — cover it in the snapshot round-trip suite");
+    }
+  }
+}
+
 }  // namespace
 
 std::string Diagnostic::str() const {
@@ -963,6 +1059,7 @@ std::vector<Diagnostic> analyze_file(const fs::path& file, const std::string& re
   check_deterministic_regions(tf, relpath, out);
   check_guarded_access(tf, guards, relpath, out);
   check_duplicate_includes(tf, relpath, out);
+  check_serial_versioned(tf, relpath, out);
 
   std::stable_sort(out.begin(), out.end(),
                    [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
@@ -1017,6 +1114,7 @@ std::vector<Diagnostic> analyze_tree(const fs::path& root, const Options& option
     check_layer_dag(files, out);
     check_include_cycles(files, out);
     check_iwyu(root, files, out);
+    check_serial_roundtrip(root, files, out);
   }
 
   std::stable_sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {

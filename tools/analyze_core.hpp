@@ -13,7 +13,11 @@
 //     MutexLock scope or inside a LACO_REQUIRES-annotated method,
 //   - Tensor pass-by-value (an accidental shared_ptr copy per call),
 //   - determinism: regions marked `// LACO_DETERMINISTIC` must not use
-//     unordered floating-point accumulation idioms.
+//     unordered floating-point accumulation idioms,
+//   - serialization discipline: a struct whose body uses serial::Writer
+//     or serial::Reader must declare an explicit kVersion
+//     (serial-versioned) and must appear in tests/test_snapshot.cpp's
+//     round-trip suite (serial-roundtrip).
 //
 // This header is the library half: tools/laco_analyze.cpp wraps it in
 // a CLI (registered as the `laco_analyze` ctest gate) and

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Kill-and-resume chaos drill (docs/RELIABILITY.md, "Placement
+# snapshots & resume"): place a synthetic design once uninterrupted
+# (golden), then repeat the same run with the placer.iteration crash
+# failpoint armed, resuming from the newest durable snapshot after
+# every abort. The drill passes only if the stitched-together run is
+# bitwise-identical to the golden run on every headline metric.
+#
+# Usage: crash_resume_drill.sh [BUILD_DIR]
+#   BUILD_DIR must contain tools/laco and tools/laco-bench-check built
+#   with -DLACO_FAILPOINTS=ON.
+#
+# The failpoint hash is a pure function of (seed, evaluation counter),
+# so prob 0.04 / seed 3 crashes every fresh process at its 34th
+# placement iteration on every machine: each attempt survives long
+# enough to cut at least three new snapshots (cadence 10) before
+# dying, and the 120-iteration run finishes within five attempts.
+set -eu
+
+BUILD_DIR=${1:-build-drill}
+LACO="$BUILD_DIR/tools/laco"
+BENCH_CHECK="$BUILD_DIR/tools/laco-bench-check"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/laco_crash_drill.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+PLACE_ARGS="--iters 120 --bins 16 --grid 32"
+
+"$LACO" generate synthetic --cells 400 --seed 7 --out "$WORK/d.lbk"
+
+echo "== golden run (no snapshots, no chaos) =="
+"$LACO" place "$WORK/d.lbk" $PLACE_ARGS --json-out "$WORK/golden.json"
+
+echo "== chaos runs: crash at iteration 34 of every process, resume from snapshot =="
+export LACO_FAILPOINTS="placer.iteration=crash:0.04:3"
+attempt=0
+resume=""
+while :; do
+  attempt=$((attempt + 1))
+  if [ "$attempt" -gt 15 ]; then
+    echo "FAIL: drill did not complete within 15 attempts (no snapshot progress?)"
+    exit 1
+  fi
+  if "$LACO" place "$WORK/d.lbk" $PLACE_ARGS \
+      --snapshot-dir "$WORK/snap" --snapshot-every 10 $resume \
+      --json-out "$WORK/resumed.json" > "$WORK/attempt.log" 2>&1; then
+    cat "$WORK/attempt.log"
+    break
+  fi
+  echo "attempt $attempt killed: $(grep -m1 'LACO_FAILPOINT' "$WORK/attempt.log" || echo 'no failpoint banner?')"
+  resume="--resume"
+done
+unset LACO_FAILPOINTS
+echo "completed after $attempt attempt(s)"
+
+# The final attempt must actually have resumed mid-run, not survived
+# end-to-end by luck — otherwise the drill proves nothing.
+grep -q '"resumed_from_iteration": *[1-9]' "$WORK/resumed.json" || {
+  echo "FAIL: final run did not resume from a snapshot"
+  exit 1
+}
+
+echo "== resumed run must be bitwise-identical to golden =="
+"$BENCH_CHECK" "$WORK/resumed.json" "$WORK/golden.json" --strict --max-drift 0 \
+  --metric final_hpwl --metric final_overflow \
+  --metric routed_wirelength --metric iterations
+
+echo "PASS: kill-and-resume placement matches the uninterrupted run exactly"

@@ -8,10 +8,18 @@
 //   laco place <FILE.lbk> [--scheme dreamplace|dreamcong|laco]
 //              [--models DIR] [--iters N] [--bins B] [--out FILE.lbk]
 //              [--svg FILE.svg] [--trace-out FILE.json]
+//              [--snapshot-dir DIR] [--snapshot-every N] [--resume]
+//              [--json-out FILE.json]
 //       Runs global placement (+ LG + DP), optionally congestion-guided
 //       with models saved by `laco train` / the train_lookahead example.
 //       --trace-out records per-phase spans and writes Chrome
 //       trace_event JSON (chrome://tracing / ui.perfetto.dev).
+//       --snapshot-dir enables durable iteration snapshots (every N
+//       iterations, default 10) and --resume continues an interrupted
+//       run from the newest valid snapshot — bitwise-identical to the
+//       uninterrupted run (docs/RELIABILITY.md). --json-out writes the
+//       run's headline metrics as a laco-bench JSON report, comparable
+//       with laco-bench-check.
 //
 //   laco eval <FILE.lbk> [--grid G] [--svg FILE.svg]
 //       Routes the placement as-is and reports WCS / wirelength; the SVG
@@ -72,6 +80,7 @@
 #include "netlist/design_stats.hpp"
 #include "netlist/ispd2015_suite.hpp"
 #include "netlist/svg_plot.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "plan/plan_cache.hpp"
@@ -115,7 +124,7 @@ Args parse_args(int argc, char** argv, int first) {
     if (a.rfind("--", 0) == 0) {
       // Boolean flags take no value; anything else would swallow the
       // next token.
-      if (a == "--no-plan" || a == "--saturate") {
+      if (a == "--no-plan" || a == "--saturate" || a == "--resume") {
         args.options[a.substr(2)] = "1";
         continue;
       }
@@ -195,6 +204,17 @@ int cmd_place(const Args& args) {
   cfg.router.grid.nx = args.get_int("grid", 64);
   cfg.router.grid.ny = cfg.router.grid.nx;
 
+  // Crash-safe placement (docs/RELIABILITY.md): --snapshot-dir enables
+  // durable iteration snapshots; --resume continues from the newest one.
+  cfg.placer.recovery.snapshot_dir = args.get("snapshot-dir", "");
+  cfg.placer.recovery.resume = args.options.count("resume") != 0;
+  if (!cfg.placer.recovery.snapshot_dir.empty()) {
+    cfg.placer.recovery.snapshot_every = args.get_int("snapshot-every", 10);
+  } else if (args.options.count("snapshot-every") != 0 || cfg.placer.recovery.resume) {
+    std::cerr << "place: --snapshot-every/--resume need --snapshot-dir DIR\n";
+    return 2;
+  }
+
   LacoModels models;
   const LacoModels* models_ptr = nullptr;
   if (traits_of(cfg.scheme).uses_penalty) {
@@ -237,6 +257,44 @@ int cmd_place(const Args& args) {
             << "\nrouting: WCS_H " << result.evaluation.wcs_h << ", WCS_V "
             << result.evaluation.wcs_v << ", WL " << result.evaluation.routed_wirelength
             << ", legality violations " << result.evaluation.legality_violations << '\n';
+  const PlacerRecoveryStats& rec = result.placement.recovery;
+  if (rec.resumed_from_iteration >= 0 || rec.snapshot_saves > 0 || rec.watchdog_trips > 0) {
+    std::cout << "recovery: resumed_from_iteration " << rec.resumed_from_iteration
+              << ", snapshot_saves " << rec.snapshot_saves << ", watchdog_trips "
+              << rec.watchdog_trips << ", rollbacks " << rec.rollbacks << '\n';
+  }
+
+  // --json-out FILE: headline metrics as a laco-bench report, so drills
+  // can diff runs exactly with `laco-bench-check a.json b.json --strict`.
+  const std::string json_out = args.get("json-out", "");
+  if (!json_out.empty()) {
+    obs::BenchReporter report("place");
+    report.set_setting("design", args.positional[0]);
+    report.set_setting("scheme", scheme_name);
+    report.set_setting("snapshot_every", cfg.placer.recovery.snapshot_every);
+    report.set_setting("resume", cfg.placer.recovery.resume);
+    report.set_metric("iterations", result.placement.iterations);
+    report.set_metric("final_hpwl", result.placement.final_hpwl);
+    report.set_metric("final_overflow", result.placement.final_overflow);
+    report.set_metric("routed_wirelength", result.evaluation.routed_wirelength);
+    report.set_metric("wcs_h", result.evaluation.wcs_h);
+    report.set_metric("wcs_v", result.evaluation.wcs_v);
+    report.set_metric("legality_violations",
+                      static_cast<double>(result.evaluation.legality_violations));
+    report.set_metric("penalty_applications",
+                      static_cast<double>(result.penalty_stats.applications));
+    report.set_metric("penalty_analytic_fallbacks",
+                      static_cast<double>(result.penalty_stats.analytic_fallbacks));
+    report.set_metric("snapshot_saves", static_cast<double>(rec.snapshot_saves));
+    report.set_metric("watchdog_trips", static_cast<double>(rec.watchdog_trips));
+    report.set_metric("rollbacks", static_cast<double>(rec.rollbacks));
+    report.set_metric("resumed_from_iteration", rec.resumed_from_iteration);
+    if (!report.write(json_out)) {
+      std::cerr << "cannot write " << json_out << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_out << '\n';
+  }
 
   const std::string out = args.get("out", "");
   if (!out.empty() && !write_bookshelf_file(design, out)) {
