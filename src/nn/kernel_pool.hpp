@@ -1,0 +1,69 @@
+// Kernel execution runtime for the nn op library (docs/KERNELS.md):
+// a process-wide ThreadPool the tiled conv/norm kernels fan work out
+// on, plus the per-op timing counters (`nn.op.<name>.{calls,ns}`).
+//
+// Determinism contract: parallel_tiles() distributes *tiles* — disjoint
+// slices of an op's output — over the pool. Each output element is
+// written by exactly one tile, and every kernel accumulates into an
+// element in a fixed, tile-independent order, so results are
+// bitwise-identical across thread counts and tilings (the golden e2e
+// test and the cross-thread determinism tests in test_nn_kernels.cpp
+// pin this). The analyzer's `nondeterministic-accum` rule enforces the
+// no-unordered-accumulation part inside `// LACO_DETERMINISTIC`
+// regions (docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "obs/metrics.hpp"
+
+namespace laco::nn {
+
+/// Threads the kernel tiling layer may use. Defaults to
+/// LACO_NN_THREADS if set (≥1), else std::thread::hardware_concurrency.
+int kernel_threads();
+
+/// Replaces the shared kernel pool with one of `n` workers (clamped to
+/// ≥1; n == 1 runs every tile inline on the caller). NOT safe to call
+/// while kernels are executing on other threads — it is a test /
+/// startup-configuration knob, and results are bitwise-identical for
+/// every value anyway.
+void set_kernel_threads(int n);
+
+/// Runs fn(0), fn(1), …, fn(tile_count-1), distributing tiles over the
+/// shared kernel pool; the calling thread participates, so this makes
+/// progress even when every worker is busy with other kernels. Returns
+/// after every tile completed; rethrows the first tile exception.
+/// Tiles must touch disjoint output ranges; tile-to-thread assignment
+/// is unspecified (see the determinism contract above for why that is
+/// still bitwise-safe). Safe to call concurrently from many threads;
+/// must not be called from inside a tile (no nesting).
+void parallel_tiles(std::size_t tile_count, const std::function<void(std::size_t)>& fn);
+
+/// Cached per-op instruments: `nn.op.<name>.calls` / `nn.op.<name>.ns`
+/// in obs::MetricRegistry::global(). References are registry-stable, so
+/// kernels hold one in a function-local static.
+struct OpStats {
+  obs::Counter& calls;
+  obs::Counter& ns;
+};
+
+OpStats make_op_stats(const char* name);
+
+/// RAII op timer: on destruction adds one call and the elapsed
+/// wall-clock nanoseconds to `stats`. Wraps a whole kernel invocation
+/// (including its parallel section), on the invoking thread only.
+class OpTimer {
+ public:
+  explicit OpTimer(const OpStats& stats);
+  ~OpTimer();
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  const OpStats& stats_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace laco::nn

@@ -1,0 +1,37 @@
+// laco-analyze fixture: the kernel-pool tiled-reduction idiom
+// (docs/KERNELS.md). tiled_sum_ordered is the sanctioned pattern —
+// each tile owns a disjoint partial, merged in index order — and must
+// produce no diagnostics. tiled_sum_racy funnels every tile through
+// one shared atomic instead; the fetch_add inside the marked region
+// must be flagged.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+float tiled_sum_ordered(const std::vector<float>& xs, std::size_t tiles) {
+  std::vector<double> partials(tiles, 0.0);
+  const std::size_t per = (xs.size() + tiles - 1) / tiles;
+  // LACO_DETERMINISTIC: tile t owns partials[t]; merged in index order below.
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t lo = t * per;
+    const std::size_t hi = lo + per < xs.size() ? lo + per : xs.size();
+    for (std::size_t i = lo; i < hi; ++i) partials[t] += xs[i];
+  }
+  double total = 0.0;
+  for (std::size_t t = 0; t < tiles; ++t) total += partials[t];
+  return static_cast<float>(total);
+}
+
+float tiled_sum_racy(const std::vector<float>& xs, std::size_t tiles) {
+  std::atomic<float> total{0.0f};  // outside any marked region: allowed
+  const std::size_t per = (xs.size() + tiles - 1) / tiles;
+  // LACO_DETERMINISTIC: fixture region (shared accumulator across tiles)
+  for (std::size_t t = 0; t < tiles; ++t) {
+    float local = 0.0f;
+    const std::size_t lo = t * per;
+    const std::size_t hi = lo + per < xs.size() ? lo + per : xs.size();
+    for (std::size_t i = lo; i < hi; ++i) local += xs[i];
+    total.fetch_add(local);
+  }
+  return total.load();
+}

@@ -69,6 +69,17 @@ TEST(AnalyzeRules, DeterministicRegionsRejectUnorderedAccumulation) {
           "atomic is unordered — use per-shard partial sums reduced in index order"}));
 }
 
+TEST(AnalyzeRules, TiledReductionPatternPassesAndSharedAccumulateFails) {
+  // The kernel-pool idiom (docs/KERNELS.md): per-tile partials merged
+  // in index order are clean; one shared atomic across tiles is not.
+  EXPECT_EQ(
+      file_diags("tiled_reduction.cpp"),
+      (std::vector<std::string>{
+          "src/fixture/tiled_reduction.cpp:34: [nondeterministic-accum] atomic fetch_add "
+          "inside a LACO_DETERMINISTIC region: cross-thread accumulation order is "
+          "unspecified — use per-shard partial sums reduced in index order"}));
+}
+
 TEST(AnalyzeRules, GuardedAccessRequiresLockOrAnnotation) {
   // Only Counter::bump fires: locked_bump holds a MutexLock,
   // annotated_bump is LACO_REQUIRES, and the declaration line itself

@@ -366,5 +366,64 @@ TEST(GradCheck, VaeKl) {
   EXPECT_LT(gradient_check([&](const Tensor& t) { return vae_kl_loss(mu, t); }, logvar), 1e-2);
 }
 
+/// Runs `fn` expecting std::invalid_argument whose message contains
+/// every string in `needles` (conv validation must name the offending
+/// shapes, not just the rule).
+template <typename Fn>
+void expect_invalid_with(Fn&& fn, std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "message \"" << msg << "\" lacks \"" << needle << "\"";
+    }
+  }
+}
+
+TEST(ConvValidation, Conv2dInconsistentGroupsReportsShapes) {
+  Tensor x = randn({1, 3, 4, 4}, 81);
+  Tensor w = randn({4, 2, 3, 3}, 82);  // cin/groups = 3 but weight says 2
+  expect_invalid_with([&] { conv2d(x, w, Tensor()); },
+                      {"groups", "[1, 3, 4, 4]", "[4, 2, 3, 3]"});
+  Tensor w2 = randn({3, 2, 3, 3}, 83);  // cout=3 not divisible by groups=2
+  Tensor x2 = randn({1, 4, 4, 4}, 84);
+  expect_invalid_with([&] { conv2d(x2, w2, Tensor(), 1, 0, 2); },
+                      {"groups", "[1, 4, 4, 4]", "[3, 2, 3, 3]"});
+}
+
+TEST(ConvValidation, Conv2dNonPositiveOutputReportsGeometry) {
+  Tensor x = randn({1, 1, 2, 2}, 85);
+  Tensor w = randn({1, 1, 5, 5}, 86);  // kernel larger than padded input
+  expect_invalid_with([&] { conv2d(x, w, Tensor()); },
+                      {"non-positive output", "[1, 1, 2, 2]", "[1, 1, 5, 5]", "stride 1"});
+}
+
+TEST(ConvValidation, ConvTranspose2dInconsistentChannelsReportsShapes) {
+  Tensor x = randn({1, 3, 4, 4}, 87);
+  Tensor w = randn({4, 2, 3, 3}, 88);  // weight cin = 4 != input cin = 3
+  expect_invalid_with([&] { conv_transpose2d(x, w, Tensor()); },
+                      {"channels", "[1, 3, 4, 4]", "[4, 2, 3, 3]"});
+  Tensor w3 = randn({3, 2, 3, 3}, 89);  // cin=3 not divisible by groups=2
+  expect_invalid_with([&] { conv_transpose2d(x, w3, Tensor(), 1, 0, 0, 2); },
+                      {"groups", "[1, 3, 4, 4]"});
+}
+
+TEST(ConvValidation, ConvTranspose2dNonPositiveOutputReportsGeometry) {
+  Tensor x = randn({1, 2, 1, 1}, 90);
+  Tensor w = randn({2, 2, 3, 3}, 91);  // (1-1)·1 − 2·2 + 3 = −1
+  expect_invalid_with([&] { conv_transpose2d(x, w, Tensor(), 1, 2); },
+                      {"non-positive output", "[1, 2, 1, 1]", "padding 2"});
+}
+
+TEST(ConvValidation, NonTensorInputsReportRank) {
+  Tensor x3 = randn({3, 4, 4}, 92);
+  Tensor w = randn({2, 3, 3, 3}, 93);
+  expect_invalid_with([&] { conv2d(x3, w, Tensor()); }, {"4-D", "[3, 4, 4]"});
+  expect_invalid_with([&] { conv_transpose2d(x3, w, Tensor()); }, {"4-D", "[3, 4, 4]"});
+}
+
 }  // namespace
 }  // namespace laco::nn

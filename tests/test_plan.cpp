@@ -14,6 +14,7 @@
 
 #include "laco/congestion_penalty.hpp"
 #include "netlist/generator.hpp"
+#include "nn/kernel_pool.hpp"
 #include "nn/layers.hpp"
 #include "nn/ops.hpp"
 #include "plan/plan.hpp"
@@ -208,6 +209,35 @@ TEST(PlanExecutor, PassthroughCopiesTheInput) {
   const nn::Tensor out = compiled.plan->run({x}, ws);
   EXPECT_TRUE(bitwise_equal(out, x));
   EXPECT_NE(out.data().data(), x.data().data());  // a copy, not an alias
+}
+
+TEST(PlanExecutor, TiledKernelChainReplayBitwiseEqualsEager) {
+  // Raw-op chain through every rewritten tiled kernel — grouped strided
+  // conv, leaky_relu, transposed conv, group_norm — compiled once and
+  // replayed: the plan kernels share the eager tile code, so replay
+  // must be bitwise-equal, including while the kernel pool is parallel.
+  const nn::Tensor x = random_input({2, 4, 12, 10}, 57);
+  nn::Tensor w1 = random_input({8, 2, 3, 3}, 58);
+  nn::Tensor b1 = random_input({8}, 59);
+  nn::Tensor w2 = random_input({8, 4, 4, 4}, 60);
+  nn::Tensor gamma = random_input({4}, 61);
+  nn::Tensor beta = random_input({4}, 62);
+  auto fn = [&](const std::vector<nn::Tensor>& in) {
+    nn::Tensor h = nn::leaky_relu(nn::conv2d(in[0], w1, b1, 2, 1, 2), 0.1f);
+    h = nn::conv_transpose2d(h, w2, nn::Tensor(), 2, 1);
+    return nn::group_norm(h, 2, gamma, beta);
+  };
+  const nn::Tensor eager = fn({x});
+  plan::CompileResult compiled = plan::compile(fn, {x});
+  ASSERT_NE(compiled.plan, nullptr) << compiled.error;
+  EXPECT_TRUE(bitwise_equal(compiled.traced_output, eager));
+  plan::Workspace ws;
+  for (int threads : {1, 8}) {
+    nn::set_kernel_threads(threads);
+    EXPECT_TRUE(bitwise_equal(compiled.plan->run({x}, ws), eager))
+        << "replay diverged from eager at " << threads << " threads";
+  }
+  nn::set_kernel_threads(1);
 }
 
 TEST(PlanExecutor, ConcurrentExecutionMatchesEager) {
